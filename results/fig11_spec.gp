@@ -1,0 +1,10 @@
+# fig11_spec — SPEC CPU2006 overheads inside SGX
+set style data histograms
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set ylabel 'overhead (x over native)'
+set xtics rotate by -35
+set key top left
+set grid ytics
+set title 'SPEC CPU2006 overheads inside SGX'
+plot 'fig11_spec.tsv' using 3:xtic(1) title columnheader(2) # one series per scheme: pre-filter rows by scheme or use an every clause

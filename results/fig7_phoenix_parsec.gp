@@ -1,0 +1,10 @@
+# fig7_phoenix_parsec — Phoenix+PARSEC overheads, 8 threads
+set style data histograms
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set ylabel 'overhead (x over native)'
+set xtics rotate by -35
+set key top left
+set grid ytics
+set title 'Phoenix+PARSEC overheads, 8 threads'
+plot 'fig7_phoenix_parsec.tsv' using 3:xtic(1) title columnheader(2) # one series per scheme: pre-filter rows by scheme or use an every clause
