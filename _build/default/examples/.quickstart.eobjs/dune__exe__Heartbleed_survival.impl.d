@@ -1,0 +1,1 @@
+examples/heartbleed_survival.ml: Fmt Sb_apps Sb_machine Sb_protection Sb_sgx Sb_workloads Sgxbounds

@@ -1,0 +1,1 @@
+examples/kvstore_hardening.ml: Fmt Sb_apps Sb_asan Sb_machine Sb_mpx Sb_protection Sb_sgx Sb_workloads Sgxbounds

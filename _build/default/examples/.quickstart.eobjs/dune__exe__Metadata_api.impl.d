@@ -1,0 +1,1 @@
+examples/metadata_api.ml: Fmt Sb_machine Sb_protection Sb_sgx Sb_vmem Sgxbounds

@@ -1,0 +1,1 @@
+examples/mpx_race.ml: Fmt Sb_machine Sb_mpx Sb_mt Sb_protection Sb_sgx Sgxbounds

@@ -1,0 +1,1 @@
+examples/mpx_race.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Sb_machine Sb_protection Sb_sgx Sgxbounds

@@ -1,0 +1,1 @@
+examples/shielded_deploy.ml: Fmt List Sb_libc Sb_machine Sb_protection Sb_scone Sb_sgx Sgxbounds String

@@ -1,0 +1,1 @@
+examples/shielded_deploy.mli:

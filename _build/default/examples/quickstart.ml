@@ -1,0 +1,50 @@
+(** Quickstart: harden a tiny program with SGXBounds.
+
+    Run with:  dune exec examples/quickstart.exe
+
+    The "program" below allocates a buffer inside the simulated enclave,
+    fills it, then walks one element too far — the classic off-by-one.
+    Compiled natively the bug silently reads a neighbouring object;
+    compiled with SGXBounds the tagged pointer carries the object's
+    upper bound and the very first out-of-bounds access is caught. *)
+
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+module Scheme = Sb_protection.Scheme
+open Sb_protection.Types
+
+(* The program, written once against the protection interface — think of
+   this as the source code the LLVM pass instruments. *)
+let program (s : Scheme.t) =
+  let buf = s.Scheme.malloc 64 in
+  let secret = s.Scheme.malloc 16 in
+  s.Scheme.store secret 8 0xDEADBEEF;
+  for i = 0 to 63 do
+    s.Scheme.store (s.Scheme.offset buf i) 1 (i land 0xff)
+  done;
+  (* off-by-one: i <= 64 *)
+  let sum = ref 0 in
+  for i = 0 to 64 do
+    sum := !sum + s.Scheme.load (s.Scheme.offset buf i) 1
+  done;
+  !sum
+
+let run name make =
+  (* a fresh simulated enclave machine: 32-bit address space, caches,
+     EPC paging, everything *)
+  let ms = Memsys.create (Config.default ()) in
+  let s = make ms in
+  (match program s with
+   | sum -> Fmt.pr "%-10s ran to completion, sum = %d  (bug undetected!)@." name sum
+   | exception Violation v -> Fmt.pr "%-10s %a@." name pp_violation v);
+  let snap = Memsys.snapshot ms in
+  Fmt.pr "%-10s cycles=%d, memory=%a@.@." name snap.Memsys.cycles
+    Sb_machine.Util.pp_bytes (Scheme.peak_vm s)
+
+let () =
+  Fmt.pr "== Quickstart: an off-by-one under native vs SGXBounds ==@.@.";
+  run "native" Sb_protection.Native.make;
+  run "sgxbounds" (fun ms -> Sgxbounds.make ms);
+  Fmt.pr "SGXBounds catches the 65th access: the pointer's upper half holds@.";
+  Fmt.pr "the object's upper bound, and the check costs two ALU ops plus one@.";
+  Fmt.pr "in-cache-line load of the lower bound (paper, Figure 5).@."

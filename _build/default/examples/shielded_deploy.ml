@@ -1,0 +1,77 @@
+(** End-to-end shielded deployment: the full SCONE + SGXBounds story.
+
+    Run with:  dune exec examples/shielded_deploy.exe
+
+    The lifecycle a SCONE operator goes through, on the simulated
+    machine:
+
+    1. the SGX driver places the enclave at address 0x0 (the paper's
+       5-line patch — a stock kernel refuses, which we show);
+    2. the application image is loaded page by page and *measured*
+       (ECREATE/EADD/EEXTEND/EINIT);
+    3. the configuration service verifies the attestation quote before
+       provisioning the TLS secret — a tampered image is rejected;
+    4. the provisioned service answers requests over an encrypted
+       (shielded) channel, hardened with SGXBounds;
+    5. a malicious oversized request is stopped by the wrapper check and
+       the service keeps running. *)
+
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+module Loader = Sb_sgx.Loader
+module Scone = Sb_scone.Scone
+module Scheme = Sb_protection.Scheme
+module Libc = Sb_libc.Simlibc
+open Sb_protection.Types
+
+let () =
+  Fmt.pr "== Shielded deployment on the simulated SGX machine ==@.@.";
+
+  (* 1. the driver patch *)
+  (match Loader.create ~mmap_min_addr:65536 ~size:(1 lsl 20) (Memsys.create (Config.default ())) with
+   | _ -> ()
+   | exception Loader.Driver_error msg -> Fmt.pr "[1] stock kernel: %s@." msg);
+  let ms = Memsys.create (Config.default ()) in
+  let enclave = Loader.create ~mmap_min_addr:0 ~size:(1 lsl 20) ms in
+  Fmt.pr "[1] patched driver: enclave created at base 0x%x@." (Loader.base enclave);
+
+  (* 2. load + measure the image *)
+  List.iter
+    (fun page -> ignore (Loader.add_page enclave ~content:page))
+    [ "text: server loop"; "text: sgxbounds runtime"; "rodata: config" ];
+  Loader.init enclave;
+  let mr = Loader.measurement enclave in
+  Fmt.pr "[2] image loaded and measured: MRENCLAVE = %Lx@." mr;
+
+  (* 3. attestation gates secret provisioning *)
+  let quote = Loader.quote enclave ~report_data:"tls-key-exchange-nonce" in
+  Fmt.pr "[3] quote verifies against expected measurement: %b@."
+    (Loader.verify_quote ~expected:mr ~report_data:"tls-key-exchange-nonce" quote);
+  let tampered = Loader.create ~mmap_min_addr:0 ~size:(1 lsl 20) (Memsys.create (Config.default ())) in
+  ignore (Loader.add_page tampered ~content:"text: server loop (backdoored)");
+  Loader.init tampered;
+  Fmt.pr "    tampered image rejected: %b@."
+    (not
+       (Loader.verify_quote ~expected:mr ~report_data:"tls-key-exchange-nonce"
+          (Loader.quote tampered ~report_data:"tls-key-exchange-nonce")));
+
+  (* 4. serve over a shielded channel, hardened with SGXBounds *)
+  let s = Sgxbounds.make ms in
+  let world = Scone.create s in
+  let conn = Scone.open_channel world ~shield:Scone.Encrypted in
+  let buf = s.Scheme.malloc 256 in
+  Scone.feed world conn "GET /secret-report";
+  let n = Scone.read world conn ~buf ~len:256 in
+  Fmt.pr "@.[4] request received over the encrypted shield (%d bytes)@." n;
+  let reply = s.Scheme.malloc 64 in
+  Libc.strcpy_in s ~dst:reply "200 OK: shielded and bounds-checked";
+  ignore (Scone.write world conn ~buf:reply ~len:35);
+  Fmt.pr "    reply on the wire: %S@." (Scone.sent world conn);
+
+  (* 5. a malicious oversized request *)
+  Scone.feed world conn (String.make 4096 'A');
+  (match Scone.read world conn ~buf ~len:4096 with
+   | _ -> Fmt.pr "@.[5] oversized request NOT caught (bug)@."
+   | exception Violation v ->
+     Fmt.pr "@.[5] oversized request stopped by the wrapper: %a@." pp_violation v);
+  Fmt.pr "    service continues: %d syscalls served so far@." (Scone.syscalls world)

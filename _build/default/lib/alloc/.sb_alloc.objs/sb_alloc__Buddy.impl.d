@@ -1,0 +1,1 @@
+lib/alloc/buddy.ml: Array Hashtbl List Sb_machine Sb_sgx Sb_vmem

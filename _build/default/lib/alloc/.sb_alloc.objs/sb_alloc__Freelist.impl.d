@@ -1,0 +1,1 @@
+lib/alloc/freelist.ml: Hashtbl Sb_machine Sb_sgx Sb_vmem

@@ -1,0 +1,1 @@
+lib/alloc/stackmem.ml: Sb_machine Sb_sgx Sb_vmem

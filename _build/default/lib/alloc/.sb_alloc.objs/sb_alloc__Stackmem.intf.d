@@ -1,0 +1,1 @@
+lib/alloc/stackmem.mli: Sb_sgx

@@ -1,0 +1,112 @@
+module Memsys = Sb_sgx.Memsys
+module Util = Sb_machine.Util
+
+let min_order = 4 (* 16-byte minimum block *)
+
+type t = {
+  ms : Memsys.t;
+  base : int;
+  max_order : int;
+  free : int list ref array;          (* per order, block offsets *)
+  live : (int, int) Hashtbl.t;        (* offset -> order *)
+  (* Orders of *free* blocks so merge can recognise a buddy. *)
+  free_set : (int, int) Hashtbl.t;    (* offset -> order *)
+  mutable live_bytes : int;
+}
+
+let create ms ~region_bytes =
+  let region = Util.next_pow2 region_bytes in
+  let base = Sb_vmem.Vmem.map (Memsys.vmem ms) ~len:region ~perm:Sb_vmem.Vmem.Read_write () in
+  let max_order = Util.log2_floor region in
+  let free = Array.init (max_order + 1) (fun _ -> ref []) in
+  let t =
+    { ms; base; max_order; free; live = Hashtbl.create 1024;
+      free_set = Hashtbl.create 1024; live_bytes = 0 }
+  in
+  t.free.(max_order) := [ 0 ];
+  Hashtbl.replace t.free_set 0 max_order;
+  t
+
+let order_of_size size = max min_order (Util.log2_floor (Util.next_pow2 size))
+
+let rec take_block t order =
+  if order > t.max_order then
+    raise
+      (Sb_vmem.Vmem.Enclave_oom
+         { requested = 1 lsl order;
+           reserved = t.live_bytes;
+           limit = 1 lsl t.max_order })
+  else
+    match !(t.free.(order)) with
+    | off :: rest ->
+      t.free.(order) := rest;
+      Hashtbl.remove t.free_set off;
+      off
+    | [] ->
+      (* Split a larger block; the upper half goes back on the free list. *)
+      let off = take_block t (order + 1) in
+      let buddy = off + (1 lsl order) in
+      t.free.(order) := buddy :: !(t.free.(order));
+      Hashtbl.replace t.free_set buddy order;
+      off
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Buddy.alloc: size <= 0";
+  Memsys.charge_alu t.ms 45;
+  let order = order_of_size size in
+  let off = take_block t order in
+  Hashtbl.replace t.live off order;
+  t.live_bytes <- t.live_bytes + (1 lsl order);
+  t.base + off
+
+let rec insert_free t off order =
+  if order < t.max_order then begin
+    let buddy = off lxor (1 lsl order) in
+    match Hashtbl.find_opt t.free_set buddy with
+    | Some o when o = order ->
+      (* Merge with the buddy and promote. *)
+      Hashtbl.remove t.free_set buddy;
+      t.free.(order) := List.filter (fun x -> x <> buddy) !(t.free.(order));
+      insert_free t (min off buddy) (order + 1)
+    | _ ->
+      t.free.(order) := off :: !(t.free.(order));
+      Hashtbl.replace t.free_set off order
+  end
+  else begin
+    t.free.(order) := off :: !(t.free.(order));
+    Hashtbl.replace t.free_set off order
+  end
+
+let free t addr =
+  let off = addr - t.base in
+  match Hashtbl.find_opt t.live off with
+  | None -> invalid_arg "Buddy.free: not a live block"
+  | Some order ->
+    Memsys.charge_alu t.ms 30;
+    Hashtbl.remove t.live off;
+    t.live_bytes <- t.live_bytes - (1 lsl order);
+    insert_free t off order
+
+let block_size t addr =
+  match Hashtbl.find_opt t.live (addr - t.base) with
+  | Some order -> 1 lsl order
+  | None -> invalid_arg "Buddy.block_size: not a live block"
+
+let base_of t addr =
+  let off = addr - t.base in
+  if off < 0 || off >= 1 lsl t.max_order then None
+  else
+    (* Scan orders from small to large; a live block is aligned to its
+       size, so masking the offset finds the candidate base. *)
+    let rec go order =
+      if order > t.max_order then None
+      else
+        let cand = Util.align_down off (1 lsl order) in
+        match Hashtbl.find_opt t.live cand with
+        | Some o when o = order -> Some (t.base + cand)
+        | _ -> go (order + 1)
+    in
+    go min_order
+
+let is_live t addr = Hashtbl.mem t.live (addr - t.base)
+let live_bytes t = t.live_bytes

@@ -1,0 +1,28 @@
+(** Buddy allocator: power-of-two blocks with split/merge.
+
+    Substrate for the Baggy Bounds baseline (§2.2 of the paper): Baggy
+    Bounds enforces *allocation* bounds by making every object a
+    power-of-two-sized, size-aligned block, so base and size are derivable
+    from the pointer alone. *)
+
+type t
+
+(** [create ms ~region_bytes] reserves one power-of-two region. *)
+val create : Sb_sgx.Memsys.t -> region_bytes:int -> t
+
+(** [alloc t size] returns the block address; the block is
+    [block_size t addr] bytes, a power of two >= size, and aligned to its
+    own size. @raise Sb_vmem.Vmem.Enclave_oom when the region is full. *)
+val alloc : t -> int -> int
+
+val free : t -> int -> unit
+
+(** Power-of-two size of the allocated block at [addr]. *)
+val block_size : t -> int -> int
+
+(** Derive the block base from any address inside an allocated block, the
+    Baggy/low-fat trick: clear the low [log2 size] bits. *)
+val base_of : t -> int -> int option
+
+val is_live : t -> int -> bool
+val live_bytes : t -> int

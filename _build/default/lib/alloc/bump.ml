@@ -1,0 +1,29 @@
+module Memsys = Sb_sgx.Memsys
+module Util = Sb_machine.Util
+
+let segment = 64 * 1024
+
+type t = {
+  ms : Memsys.t;
+  mutable cur : int;
+  mutable seg_end : int;
+  mutable used : int;
+}
+
+let create ms () = { ms; cur = 0; seg_end = 0; used = 0 }
+
+let alloc t ?(align = 16) size =
+  if size <= 0 then invalid_arg "Bump.alloc: size <= 0";
+  let cur = Util.align_up t.cur align in
+  if cur + size > t.seg_end then begin
+    let len = max segment (Util.align_up size Sb_vmem.Vmem.page_size) in
+    let addr = Sb_vmem.Vmem.map (Memsys.vmem t.ms) ~len ~perm:Sb_vmem.Vmem.Read_write () in
+    t.cur <- addr;
+    t.seg_end <- addr + len
+  end;
+  let addr = Util.align_up t.cur align in
+  t.cur <- addr + size;
+  t.used <- t.used + size;
+  addr
+
+let used_bytes t = t.used

@@ -1,0 +1,15 @@
+(** Bump-only region for globals and BSS.
+
+    Global variables are laid out once at program start and never freed;
+    SGXBounds pads each with a 4-byte lower-bound footer (the paper's
+    struct-wrapping transformation, §3.2). *)
+
+type t
+
+val create : Sb_sgx.Memsys.t -> unit -> t
+
+(** Reserve [size] bytes, [align]-aligned (default 16). Grows the region
+    as needed. *)
+val alloc : t -> ?align:int -> int -> int
+
+val used_bytes : t -> int

@@ -1,0 +1,29 @@
+module Memsys = Sb_sgx.Memsys
+module Util = Sb_machine.Util
+
+type t = {
+  lo : int;
+  hi : int;
+  mutable sp : int;
+}
+
+let create ms ~size =
+  let len = Util.align_up size Sb_vmem.Vmem.page_size in
+  let lo = Sb_vmem.Vmem.map (Memsys.vmem ms) ~len ~perm:Sb_vmem.Vmem.Read_write () in
+  { lo; hi = lo + len; sp = lo + len }
+
+let push_frame t = t.sp
+
+let alloc t ?(align = 16) size =
+  if size <= 0 then invalid_arg "Stackmem.alloc: size <= 0";
+  let sp = Util.align_down (t.sp - size) align in
+  if sp < t.lo then failwith "Stackmem: stack overflow";
+  t.sp <- sp;
+  sp
+
+let pop_frame t token =
+  assert (token >= t.sp && token <= t.hi);
+  t.sp <- token
+
+let sp t = t.sp
+let base t = t.hi

@@ -1,0 +1,29 @@
+(** A downward-growing call stack in simulated memory.
+
+    Stack frames hold the stack-allocated buffers that RIPE-style attacks
+    overflow; the word below a frame's locals models the saved return
+    address / adjacent function pointer that stack-smashing targets. *)
+
+type t
+
+(** [create ms ~size ~tid] maps a [size]-byte stack. One per simulated
+    thread. *)
+val create : Sb_sgx.Memsys.t -> size:int -> t
+
+(** Open a new frame; returns a token for [pop_frame]. *)
+val push_frame : t -> int
+
+(** Allocate [size] bytes of locals in the current frame (grows down, so
+    later allocations sit at *lower* addresses — a buffer overflow with a
+    positive stride runs toward earlier locals and the saved return
+    address, like on x86). Returns the buffer's base address. *)
+val alloc : t -> ?align:int -> int -> int
+
+(** Close the current frame, releasing everything allocated since the
+    matching [push_frame]. *)
+val pop_frame : t -> int -> unit
+
+val sp : t -> int
+
+(** Highest address of the stack mapping (the stack base). *)
+val base : t -> int

@@ -1,0 +1,1 @@
+lib/apps/http_sim.ml: Char Sb_libc Sb_machine Sb_protection Sb_scone Sb_sgx Sb_vmem Sb_workloads String

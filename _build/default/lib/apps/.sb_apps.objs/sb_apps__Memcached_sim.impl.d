@@ -1,0 +1,1 @@
+lib/apps/memcached_sim.ml: Sb_libc Sb_machine Sb_protection Sb_scone Sb_sgx Sb_vmem Sb_workloads String

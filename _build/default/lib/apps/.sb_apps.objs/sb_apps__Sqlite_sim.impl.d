@@ -1,0 +1,1 @@
+lib/apps/sqlite_sim.ml: Sb_machine Sb_protection Sb_sgx Sb_workloads

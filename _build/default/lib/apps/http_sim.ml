@@ -1,0 +1,211 @@
+(** HTTP server models (§7, Figures 13b/13c) and the two real exploits
+    of the case studies.
+
+    Two server architectures with the memory behaviours the paper's
+    results hinge on:
+
+    - [Apache]: a worker-pool server where every connection gets its own
+      memory pool (~1 MiB in the paper — the reason MPX's bounds
+      metadata bloats per client, and the reason SGXBounds' mmap wrapper
+      rounds one extra page per pool, the paper's unexpected +50%
+      memory);
+    - [Nginx]: a single-threaded event server that reuses static buffers
+      and copies as little as possible.
+
+    Inside the enclave both pay SCONE's extra response copy to the
+    syscall thread (the paper's explanation for the 5-20% native-vs-SGX
+    gap on Nginx's 200 KiB page).
+
+    Exploits:
+    - [heartbeat] — Heartbleed (Apache/OpenSSL): the attacker-declared
+      payload length is trusted, and the reply copy reads far past the
+      16-byte request payload into adjacent memory holding key material.
+      The copy is the in-application loop OpenSSL inlines, so boundless
+      memory turns the leak into zeros without killing the server.
+    - [chunked_request] — CVE-2013-2028 (Nginx): a huge chunked-transfer
+      size is cast through a signed type and a later recv writes
+      attacker-controlled bytes into a small stack buffer. *)
+
+module Memsys = Sb_sgx.Memsys
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+module Libc = Sb_libc.Simlibc
+open Sb_protection.Types
+open Sb_workloads.Wctx
+
+(* Scaled stand-in for the paper's 200 KiB static page. *)
+let page_bytes = 3200 (* 200 KiB / scale *)
+let apache_pool_bytes = 16 * 1024 (* paper: ~1 MiB per client, scaled *)
+
+let request_line = "GET /index.html HTTP/1.1\r\nHost: enclave\r\nConnection: keep-alive\r\n\r\n"
+
+type server = {
+  ctx : Sb_workloads.Wctx.t;
+  page : ptr;              (* the static file being served *)
+  world : Sb_scone.Scone.t;
+  conn : Sb_scone.Scone.fd;
+}
+
+let create_server ?(shield = Sb_scone.Scone.No_shield) ctx =
+  let page = ctx.s.Scheme.malloc page_bytes in
+  fill_random ctx page (page_bytes / 8) 8;
+  let world = Sb_scone.Scone.create ctx.s in
+  let conn = Sb_scone.Scone.open_channel world ~shield in
+  { ctx; page; world; conn }
+
+(* Send: compose the response in the app buffer, then write it out
+   through the SCONE syscall interface — which stages the bytes through
+   the enclave syscall slot (the second copy of §7) before the outside
+   syscall thread transmits them. *)
+let send srv ~out ~len =
+  Libc.memcpy srv.ctx.s ~dst:out ~src:srv.page ~len;
+  ignore (Sb_scone.Scone.write srv.world srv.conn ~buf:out ~len)
+
+(* Receive one request into the connection buffer via the syscall
+   interface. *)
+let recv_request srv ~conn_buf =
+  Sb_scone.Scone.feed srv.world srv.conn request_line;
+  ignore
+    (Sb_scone.Scone.read srv.world srv.conn ~buf:conn_buf
+       ~len:(String.length request_line))
+
+let requests_per_connection = 20 (* ab keepalive *)
+
+(** One Apache worker handling one keep-alive connection: allocate the
+    connection pool once, serve a batch of requests from it, tear the
+    pool down. *)
+let apache_handle_connection srv =
+  let pool = srv.ctx.s.Scheme.malloc apache_pool_bytes in
+  for _req = 1 to requests_per_connection do
+    (* receive and parse the request inside the connection pool *)
+    let hdr = srv.ctx.s.Scheme.offset pool 0 in
+    recv_request srv ~conn_buf:hdr;
+    srv.ctx.s.Scheme.check_range hdr 256 Write;
+    for i = 0 to 255 do
+      srv.ctx.s.Scheme.store_unchecked (srv.ctx.s.Scheme.offset hdr i) 1 (i land 0x7f)
+    done;
+    work srv.ctx 6000; (* request parsing, filters, config walk, logging *)
+    let out = srv.ctx.s.Scheme.offset pool 1024 in
+    send srv ~out ~len:page_bytes
+  done;
+  srv.ctx.s.Scheme.free pool
+
+(** Apache under load: [clients] concurrent workers (up to 8 simulated
+    threads), [requests] total. Returns (elapsed cycles, requests). *)
+let apache_bench ctx ~clients ~requests =
+  let srv = create_server ctx in
+  let threads = min clients 8 in
+  let start = Memsys.get_clock ctx.ms 0 in
+  let ctx = { ctx with threads } in
+  let connections = max 1 (requests / requests_per_connection) in
+  parallel ctx connections (fun _t lo hi ->
+      for _c = lo to hi - 1 do
+        apache_handle_connection srv
+      done);
+  (Memsys.get_clock ctx.ms 0 - start, connections * requests_per_connection)
+
+(** One Nginx event-loop iteration: static buffers, minimal copying. *)
+let nginx_handle srv ~conn_buf ~out_buf =
+  recv_request srv ~conn_buf;
+  srv.ctx.s.Scheme.check_range conn_buf 256 Write;
+  for i = 0 to 255 do
+    srv.ctx.s.Scheme.store_unchecked (srv.ctx.s.Scheme.offset conn_buf i) 1 (i land 0x7f)
+  done;
+  work srv.ctx 3000; (* event loop, parsing, header assembly *)
+  send srv ~out:out_buf ~len:page_bytes
+
+(** Nginx under load: single-threaded event loop. *)
+let nginx_bench ctx ~requests =
+  let srv = create_server ctx in
+  let conn_buf = ctx.s.Scheme.malloc 1024 in
+  let out_buf = ctx.s.Scheme.malloc (page_bytes + 1024) in
+  let start = Memsys.get_clock ctx.ms 0 in
+  for _r = 1 to requests do
+    nginx_handle srv ~conn_buf ~out_buf
+  done;
+  (Memsys.get_clock ctx.ms 0 - start, requests)
+
+(* ---------- exploits ---------- *)
+
+type exploit_outcome =
+  | Leaked of string     (** reply contained out-of-bounds bytes *)
+  | Detected             (** scheme aborted the request (fail-stop) *)
+  | Contained_zeros      (** boundless memory: reply padded with zeros *)
+  | Corrupted            (** memory beyond the buffer was overwritten *)
+  | Harmless             (** attack had no effect *)
+
+(** Heartbleed. The heartbeat request carries a 16-byte payload but
+    declares [claimed_len]; the reply copy trusts the claim. The
+    "private key" lives in an adjacent heap allocation, and the reply
+    leaves the enclave through the SCONE network channel — so the leak
+    test below inspects exactly the bytes the attacker would receive. *)
+let heartbeat ctx ~claimed_len =
+  let world = Sb_scone.Scone.create ctx.s in
+  let conn = Sb_scone.Scone.open_channel world ~shield:Sb_scone.Scone.No_shield in
+  let request = ctx.s.Scheme.malloc 32 in (* type + len + 16-byte payload *)
+  let secret = ctx.s.Scheme.malloc 64 in
+  let marker = 0x5EC12E7 in
+  for i = 0 to 7 do
+    ctx.s.Scheme.store (ctx.s.Scheme.offset secret (i * 8)) 8 (marker + i)
+  done;
+  let reply = ctx.s.Scheme.malloc (claimed_len + 16) in
+  let payload = ctx.s.Scheme.offset request 16 in
+  match
+    (* OpenSSL's inlined copy loop, compiled with the scheme's checks *)
+    for i = 0 to claimed_len - 1 do
+      let b = ctx.s.Scheme.load (ctx.s.Scheme.offset payload i) 1 in
+      ctx.s.Scheme.store (ctx.s.Scheme.offset reply i) 1 b
+    done;
+    ignore (Sb_scone.Scone.write world conn ~buf:reply ~len:claimed_len)
+  with
+  | () ->
+    (* inspect the bytes that actually left the enclave *)
+    let wire = Sb_scone.Scone.sent world conn in
+    let marker_le =
+      String.init 4 (fun i -> Char.chr ((marker lsr (8 * i)) land 0xff))
+    in
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    let zeros_beyond =
+      claimed_len > 16
+      && String.for_all (( = ) '\000')
+           (String.sub wire 16 (max 0 (String.length wire - 16)))
+    in
+    if contains wire marker_le then
+      Leaked "reply on the wire contains adjacent heap memory (private key material)"
+    else if claimed_len > 16 && zeros_beyond then Contained_zeros
+    else Harmless
+  | exception Violation _ -> Detected
+  | exception Sb_vmem.Vmem.Fault _ -> Detected
+
+(** CVE-2013-2028: nginx chunked-transfer stack buffer overflow. The
+    attacker-declared chunk size reaches a signed cast and a discard
+    loop recv()s that many bytes into a small stack buffer. *)
+let chunked_request ctx ~chunk_size =
+  let tok = ctx.s.Scheme.stack_push () in
+  (* caller frames above the handler: where a real overflow lands *)
+  let _caller_frames = ctx.s.Scheme.stack_alloc 8192 in
+  let canary = ctx.s.Scheme.stack_alloc 8 in
+  ctx.s.Scheme.store canary 8 0xC0DE;
+  let buf = ctx.s.Scheme.stack_alloc 128 in
+  (* signed cast: a huge declared size becomes negative, passes the
+     sanity check, and the discard loop uses it as unsigned; the recv is
+     bounded by the socket read size (~2 KiB per call) *)
+  let signed = if chunk_size > 0x7FFFFFFF then chunk_size - (1 lsl 32) else chunk_size in
+  let effective = if signed < 0 then min (signed land 0xFFFFFFFF) 2048 else min signed 128 in
+  let outcome =
+    match
+      for i = 0 to effective - 1 do
+        ctx.s.Scheme.store (ctx.s.Scheme.offset buf i) 1 0x90 (* NOP sled *)
+      done
+    with
+    | () ->
+      if ctx.s.Scheme.load canary 8 <> 0xC0DE then Corrupted else Harmless
+    | exception Violation _ -> Detected
+    | exception Sb_vmem.Vmem.Fault _ -> Detected
+  in
+  (try ctx.s.Scheme.stack_pop tok with _ -> ());
+  outcome

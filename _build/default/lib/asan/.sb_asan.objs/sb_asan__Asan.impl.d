@@ -1,0 +1,1 @@
+lib/asan/asan.ml: List Queue Sb_alloc Sb_machine Sb_protection Sb_sgx Sb_vmem

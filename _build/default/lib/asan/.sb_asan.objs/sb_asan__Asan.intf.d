@@ -1,0 +1,1 @@
+lib/asan/asan.mli: Sb_protection Sb_sgx

@@ -1,0 +1,20 @@
+(** AddressSanitizer model (paper §2.2/§5.2): shadow memory at 1/8 of the
+    address space (512 MiB scaled arena reserved up-front, as in 32-bit
+    mode), redzones around every object, a size-capped quarantine that
+    delays reuse (catching use-after-free/double-free and inflating
+    footprints under churn), range-checking libc interceptors, and no
+    per-pointer metadata. All shadow traffic goes through the simulated
+    cache/EPC — the source of ASan's in-enclave slowdowns. *)
+
+(** Run-time flags (ASAN_OPTIONS analogues): redzone width and the
+    real-world quarantine cap (0 disables delayed reuse — and with it
+    use-after-free detection). *)
+type opts = {
+  redzone : int;
+  quarantine_cap : int;
+}
+
+val default_opts : opts
+
+(** Build an ASan-hardened execution environment on a machine. *)
+val make : ?opts:opts -> Sb_sgx.Memsys.t -> Sb_protection.Scheme.t

@@ -1,0 +1,1 @@
+lib/baggy/baggy.ml: List Sb_alloc Sb_machine Sb_protection Sb_sgx Sb_vmem

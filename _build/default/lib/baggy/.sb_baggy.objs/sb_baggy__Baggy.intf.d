@@ -1,0 +1,1 @@
+lib/baggy/baggy.mli: Sb_protection Sb_sgx

@@ -1,0 +1,11 @@
+(** Baggy Bounds baseline (paper §2.2): buddy allocation makes every
+    object a power-of-two, size-aligned block; a compact size table (one
+    byte per 16-byte slot) lets checks derive base and bounds from the
+    pointer alone. Enforces *allocation* bounds — overflows within the
+    block's padding pass. Not publicly available at the time of the
+    paper; included as the tagged-scheme reference point for the
+    outside-enclave comparison (Figure 12 discussion). *)
+
+(** Build a Baggy-Bounds-hardened execution environment. [region_bytes]
+    sizes the buddy region backing heap, globals and stack. *)
+val make : ?region_bytes:int -> Sb_sgx.Memsys.t -> Sb_protection.Scheme.t

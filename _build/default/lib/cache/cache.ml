@@ -1,0 +1,50 @@
+type t = {
+  nsets : int;
+  assoc : int;
+  (* tags.(set * assoc + way); way 0 is most recently used. -1 = invalid. *)
+  tags : int array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size ~assoc ~line_size =
+  let nsets = max 1 (size / (assoc * line_size)) in
+  (* Power-of-two set count keeps indexing a mask. *)
+  let nsets =
+    if Sb_machine.Util.is_pow2 nsets then nsets
+    else Sb_machine.Util.next_pow2 nsets / 2
+  in
+  let nsets = max 1 nsets in
+  { nsets; assoc; tags = Array.make (nsets * assoc) (-1); hits = 0; misses = 0 }
+
+let access t ~line =
+  let set = line land (t.nsets - 1) in
+  let base = set * t.assoc in
+  let tag = line in
+  let rec find way = if way >= t.assoc then -1 else if t.tags.(base + way) = tag then way else find (way + 1) in
+  let way = find 0 in
+  if way >= 0 then begin
+    (* Move to front to record recency. *)
+    for i = way downto 1 do
+      t.tags.(base + i) <- t.tags.(base + i - 1)
+    done;
+    t.tags.(base) <- tag;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    for i = t.assoc - 1 downto 1 do
+      t.tags.(base + i) <- t.tags.(base + i - 1)
+    done;
+    t.tags.(base) <- tag;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,26 @@
+(** A single set-associative cache with LRU replacement.
+
+    Only tags are modelled (data lives in {!Sb_vmem.Vmem}); an access
+    either hits or misses and updates recency. This is enough to
+    reproduce the cache-pollution effects that drive the paper's
+    AddressSanitizer results (shadow-memory accesses evicting application
+    data) and Intel MPX results (bounds-table accesses doing the same). *)
+
+type t
+
+(** [create ~size ~assoc ~line_size] — [size] bytes total, [assoc] ways,
+    [line_size]-byte lines. [size] is rounded so there is at least one
+    set. *)
+val create : size:int -> assoc:int -> line_size:int -> t
+
+(** [access t ~line] touches cache line number [line] (address divided by
+    line size); returns [true] on hit. On miss the LRU way of the set is
+    replaced. *)
+val access : t -> line:int -> bool
+
+(** Invalidate everything (e.g. between experiment runs). *)
+val flush : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,26 @@
+(** Three-level cache hierarchy (L1 / L2 / shared LLC) with cycle costs.
+
+    Matches the paper's testbed: private 32 KiB L1 and 256 KiB L2 per
+    core, one shared 8 MiB L3 — scaled per {!Sb_machine.Config}. *)
+
+type t
+
+(** Where an access was served. [Dram] means it missed every level; the
+    caller (the SGX memory system) decides whether that costs plain DRAM
+    or MEE-encrypted DRAM plus possible EPC paging. *)
+type served = L1 | L2 | Llc | Dram
+
+val create : Sb_machine.Config.t -> t
+
+(** [access t ~addr] walks the hierarchy for the line containing [addr]
+    and returns where it was served; inserts the line into every level it
+    missed. *)
+val access : t -> addr:int -> served
+
+(** Cycles charged for a hit at the given level ([Dram] returns 0 — the
+    memory system adds the DRAM/EPC cost itself). *)
+val hit_cost : t -> served -> int
+
+val llc_misses : t -> int
+val flush : t -> unit
+val reset_stats : t -> unit

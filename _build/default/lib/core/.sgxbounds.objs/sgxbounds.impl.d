@@ -1,0 +1,1 @@
+lib/core/sgxbounds.ml: Boundless List Meta Sb_alloc Sb_protection Sb_sgx Sb_vmem Tagged Tagged_wide

@@ -1,0 +1,1 @@
+lib/core/boundless.ml: Bytes Char Hashtbl Sb_machine

@@ -1,0 +1,1 @@
+lib/core/meta.ml: Sb_protection Sb_sgx

@@ -1,0 +1,1 @@
+lib/core/meta.mli: Sb_protection Sb_sgx

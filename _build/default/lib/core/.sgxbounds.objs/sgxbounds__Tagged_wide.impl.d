@@ -1,0 +1,1 @@
+lib/core/tagged_wide.ml: Sb_machine Sb_vmem

@@ -1,0 +1,80 @@
+type chunk = {
+  data : Bytes.t;
+  mutable tick : int;  (* last-use stamp for LRU eviction *)
+}
+
+type t = {
+  chunk_bytes : int;
+  max_chunks : int;
+  table : (int, chunk) Hashtbl.t;  (* chunk base -> chunk *)
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let create ?(chunk_bytes = 1024) ?(capacity_bytes = 1024 * 1024) () =
+  assert (Sb_machine.Util.is_pow2 chunk_bytes);
+  {
+    chunk_bytes;
+    max_chunks = max 1 (capacity_bytes / chunk_bytes);
+    table = Hashtbl.create 64;
+    clock = 0;
+    evictions = 0;
+  }
+
+let chunk_base t addr = addr land lnot (t.chunk_bytes - 1)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun base c ->
+       match !victim with
+       | Some (_, best) when best.tick <= c.tick -> ()
+       | _ -> victim := Some (base, c))
+    t.table;
+  match !victim with
+  | Some (base, _) ->
+    Hashtbl.remove t.table base;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_create t addr =
+  let base = chunk_base t addr in
+  match Hashtbl.find_opt t.table base with
+  | Some c ->
+    c.tick <- tick t;
+    c
+  | None ->
+    if Hashtbl.length t.table >= t.max_chunks then evict_lru t;
+    let c = { data = Bytes.make t.chunk_bytes '\000'; tick = tick t } in
+    Hashtbl.replace t.table base c;
+    c
+
+let read t ~addr ~width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    let a = addr + i in
+    let base = chunk_base t a in
+    let byte =
+      match Hashtbl.find_opt t.table base with
+      | None -> 0  (* failure-oblivious: fabricate zeros *)
+      | Some c ->
+        c.tick <- tick t;
+        Char.code (Bytes.get c.data (a - base))
+    in
+    v := (!v lsl 8) lor byte
+  done;
+  !v
+
+let write t ~addr ~width v =
+  for i = 0 to width - 1 do
+    let a = addr + i in
+    let c = find_or_create t a in
+    Bytes.set c.data (a - chunk_base t a) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let chunks t = Hashtbl.length t.table
+let evictions t = t.evictions

@@ -1,0 +1,27 @@
+(** Boundless memory blocks (§4.2): failure-oblivious overlay storage.
+
+    When boundless mode is on, a detected out-of-bounds access is not
+    fatal: writes are redirected to an overlay area keyed by the
+    offending address, reads return the overlay contents or zeros. The
+    overlay is a bounded LRU cache of on-demand chunks, so an attack
+    spanning gigabytes cannot exhaust memory — evicting the least
+    recently used chunk instead. *)
+
+type t
+
+(** [create ~chunk_bytes ~capacity_bytes ()] — paper defaults: 1 KiB
+    chunks, 1 MiB total. *)
+val create : ?chunk_bytes:int -> ?capacity_bytes:int -> unit -> t
+
+(** Overlay read at (simulated) out-of-bounds address [addr]; zeros when
+    nothing was ever written there (failure-oblivious fallback). *)
+val read : t -> addr:int -> width:int -> int
+
+(** Overlay write; allocates (or LRU-recycles) the covering chunk. *)
+val write : t -> addr:int -> width:int -> int -> unit
+
+(** Number of chunks currently allocated. *)
+val chunks : t -> int
+
+(** Chunks evicted so far. *)
+val evictions : t -> int

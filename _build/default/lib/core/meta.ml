@@ -1,0 +1,58 @@
+module Memsys = Sb_sgx.Memsys
+open Sb_protection.Types
+
+type hooks = {
+  on_create : ms:Memsys.t -> objbase:int -> objsize:int -> meta_addr:int -> unit;
+  on_access :
+    ms:Memsys.t -> addr:int -> size:int -> meta_addr:int -> access:access -> unit;
+  on_delete : ms:Memsys.t -> meta_addr:int -> unit;
+}
+
+type plugin = {
+  name : string;
+  slot_bytes : int;
+  hooks : hooks;
+}
+
+let no_hooks = {
+  on_create = (fun ~ms:_ ~objbase:_ ~objsize:_ ~meta_addr:_ -> ());
+  on_access = (fun ~ms:_ ~addr:_ ~size:_ ~meta_addr:_ ~access:_ -> ());
+  on_delete = (fun ~ms:_ ~meta_addr:_ -> ());
+}
+
+let double_free_magic = 0xD00D1E5
+
+let double_free_guard =
+  {
+    name = "double-free-guard";
+    slot_bytes = 4;
+    hooks =
+      {
+        no_hooks with
+        on_create =
+          (fun ~ms ~objbase:_ ~objsize:_ ~meta_addr ->
+             Memsys.store ms ~addr:meta_addr ~width:4 double_free_magic);
+        on_delete =
+          (fun ~ms ~meta_addr ->
+             let v = Memsys.load ms ~addr:meta_addr ~width:4 in
+             if v <> double_free_magic then
+               raise
+                 (Violation
+                    { scheme = "sgxbounds"; addr = meta_addr; access = Write; width = 0;
+                      lo = 0; hi = 0; reason = "double free detected by magic-number metadata" })
+             else Memsys.store ms ~addr:meta_addr ~width:4 0);
+      };
+  }
+
+let origin_tracker ~site =
+  {
+    name = "origin-tracker";
+    slot_bytes = 4;
+    hooks =
+      {
+        no_hooks with
+        on_create =
+          (fun ~ms ~objbase:_ ~objsize:_ ~meta_addr ->
+             Memsys.store ms ~addr:meta_addr ~width:4 site);
+      };
+  }

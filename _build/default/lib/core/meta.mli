@@ -1,0 +1,39 @@
+(** Metadata-management API (§4.3, Table 2).
+
+    The SGXBounds memory layout reserves the object's metadata area right
+    after the object: the mandatory 4-byte lower bound first, then one
+    slot per registered plugin. Plugins receive the three hooks of the
+    paper's Table 2 and may read/write their slot through the memory
+    system, so metadata traffic is costed like any other access.
+
+    The bundled {!double_free_guard} reproduces the paper's example of
+    probabilistic double-free protection via a magic number. *)
+
+type hooks = {
+  (* on_create(objbase, objsize, objtype) *)
+  on_create : ms:Sb_sgx.Memsys.t -> objbase:int -> objsize:int -> meta_addr:int -> unit;
+  (* on_access(address, size, metadata, accesstype) *)
+  on_access :
+    ms:Sb_sgx.Memsys.t -> addr:int -> size:int -> meta_addr:int ->
+    access:Sb_protection.Types.access -> unit;
+  (* on_delete(metadata) — heap objects only *)
+  on_delete : ms:Sb_sgx.Memsys.t -> meta_addr:int -> unit;
+}
+
+type plugin = {
+  name : string;
+  slot_bytes : int;
+  hooks : hooks;
+}
+
+(** A plugin with empty hooks to build on. *)
+val no_hooks : hooks
+
+(** Detects double frees by stamping a magic number at creation and
+    clearing it at deletion; a second delete sees the cleared slot and
+    raises {!Sb_protection.Types.Violation}. *)
+val double_free_guard : plugin
+
+(** Records a 4-byte allocation-site id, readable for debugging — the
+    paper's "where does this out-of-bounds access originate" example. *)
+val origin_tracker : site:int -> plugin

@@ -1,0 +1,1 @@
+lib/fex/fex.ml: Buffer Filename Fun Hashtbl List Option Printf Sb_harness Sb_machine Sb_workloads String Sys

@@ -1,0 +1,1 @@
+lib/fex/fex.mli: Sb_harness Sb_machine

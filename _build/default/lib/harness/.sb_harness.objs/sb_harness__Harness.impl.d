@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Fmt List Option Printf Sb_asan Sb_baggy Sb_machine Sb_mpx Sb_protection Sb_sgx Sb_vmem Sb_workloads Sgxbounds

@@ -1,0 +1,136 @@
+(** Experiment harness: run a workload under a scheme, collect the
+    metrics the paper reports, normalize against the native-SGX baseline
+    and print paper-shaped tables.
+
+    Methodology mirrors §6.1: results are normalized against the native
+    (uninstrumented) version in the same environment; memory numbers are
+    peak reserved virtual memory; crashed configurations (MPX out of
+    enclave memory) are reported as missing bars. *)
+
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+module Vmem = Sb_vmem.Vmem
+module Scheme = Sb_protection.Scheme
+open Sb_protection.Types
+
+type metrics = {
+  cycles : int;
+  instrs : int;
+  mem_accesses : int;
+  llc_misses : int;
+  epc_faults : int;
+  peak_vm : int;
+  bts : int;
+  quarantine : int;
+}
+
+type outcome =
+  | Completed of metrics
+  | Crashed of string
+
+type result = {
+  scheme : string;
+  workload : string;
+  n : int;
+  threads : int;
+  env : Config.env;
+  outcome : outcome;
+}
+
+(** The scheme line-up of the evaluation. [sgxbounds-*] variants are the
+    Figure 10 optimization ablation. *)
+let makers : (string * (Memsys.t -> Scheme.t)) list =
+  [
+    ("native", Sb_protection.Native.make);
+    ("sgxbounds", fun m -> Sgxbounds.make m);
+    ("sgxbounds-noopt", fun m -> Sgxbounds.make ~opts:Sgxbounds.no_opts m);
+    ( "sgxbounds-safe",
+      fun m ->
+        Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = true; hoisting = false } m );
+    ( "sgxbounds-hoist",
+      fun m ->
+        Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = false; hoisting = true } m );
+    ("sgxbounds-boundless", fun m -> Sgxbounds.make ~mode:Sgxbounds.Boundless_mode m);
+    ("asan", (fun m -> Sb_asan.Asan.make m));
+    ("mpx", Sb_mpx.Mpx.make);
+    ("baggy", fun m -> Sb_baggy.Baggy.make ~region_bytes:(16 * 1024 * 1024) m);
+  ]
+
+let maker name =
+  match List.assoc_opt name makers with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Harness.maker: unknown scheme %S" name)
+
+(** Run one (workload, scheme, environment) cell on a fresh machine. *)
+let run_one ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
+    (w : Sb_workloads.Registry.spec) =
+  let n = Option.value n ~default:w.Sb_workloads.Registry.default_n in
+  let cfg = Config.default ~env () in
+  let ms = Memsys.create cfg in
+  let s = maker scheme ms in
+  let ctx = Sb_workloads.Wctx.make ~threads s in
+  let outcome =
+    match w.Sb_workloads.Registry.run ctx ~n with
+    | () ->
+      let snap = Memsys.snapshot ms in
+      Completed
+        {
+          cycles = snap.Memsys.cycles;
+          instrs = snap.Memsys.instrs;
+          mem_accesses = snap.Memsys.mem_accesses;
+          llc_misses = snap.Memsys.llc_misses;
+          epc_faults = snap.Memsys.epc_faults;
+          peak_vm = Vmem.peak_reserved_bytes (Memsys.vmem ms);
+          bts = s.Scheme.extras.bts_allocated;
+          quarantine = s.Scheme.extras.quarantine_bytes;
+        }
+    | exception App_crash msg -> Crashed msg
+    | exception Vmem.Enclave_oom _ -> Crashed "enclave out of memory"
+    | exception Violation v -> Crashed (Fmt.str "%a" pp_violation v)
+  in
+  { scheme; workload = w.Sb_workloads.Registry.name; n; threads; env; outcome }
+
+let metrics_exn r =
+  match r.outcome with
+  | Completed m -> m
+  | Crashed msg -> failwith (r.workload ^ "/" ^ r.scheme ^ " crashed: " ^ msg)
+
+(** Performance overhead of [r] relative to baseline cycles (1.0 = equal). *)
+let perf_ratio ~baseline r =
+  match r.outcome with
+  | Crashed _ -> None
+  | Completed m -> Some (float_of_int m.cycles /. float_of_int (max 1 baseline.cycles))
+
+let mem_ratio ~baseline r =
+  match r.outcome with
+  | Crashed _ -> None
+  | Completed m -> Some (float_of_int m.peak_vm /. float_of_int (max 1 baseline.peak_vm))
+
+(* ---------- table formatting ---------- *)
+
+let pp_ratio ppf = function
+  | None -> Fmt.string ppf "   CRASH"
+  | Some r -> Fmt.pf ppf "%7.2fx" r
+
+let pp_cell_bytes ppf = function
+  | None -> Fmt.string ppf "   CRASH"
+  | Some b -> Fmt.pf ppf "%8s" (Fmt.str "%a" Sb_machine.Util.pp_bytes b)
+
+(** Print a normalized table: one row per workload, one column per
+    scheme, each cell a ratio to the native baseline. *)
+let print_ratio_table ~title ~rows ~columns ~cell () =
+  Fmt.pr "@.%s@." title;
+  Fmt.pr "%-18s" "";
+  List.iter (fun c -> Fmt.pr "%10s" c) columns;
+  Fmt.pr "@.";
+  List.iter
+    (fun row ->
+       Fmt.pr "%-18s" row;
+       List.iter (fun col -> Fmt.pr "  %a" pp_ratio (cell ~row ~col)) columns;
+       Fmt.pr "@.")
+    rows
+
+(** Geometric mean over the defined cells of a column. *)
+let gmean_column ~rows ~cell ~col =
+  let vals = List.filter_map (fun row -> cell ~row ~col) rows in
+  if vals = [] then None else Some (Sb_machine.Util.geomean vals)

@@ -1,0 +1,1 @@
+lib/libc/simlibc.ml: Buffer Printf Sb_protection Sb_sgx Sb_vmem String

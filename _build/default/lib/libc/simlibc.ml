@@ -1,0 +1,229 @@
+(** The simulated (uninstrumented) libc plus per-scheme wrappers.
+
+    Mirrors the paper's structure (§3.2 "Function calls"): libc itself is
+    not instrumented; every scheme supplies a wrapper policy through
+    [Scheme.libc_check], applied to whole buffer arguments before the raw
+    body runs. SGXBounds and ASan check; the paper's MPX setup does not —
+    which decides several RIPE outcomes and the real-exploit case
+    studies.
+
+    All functions operate on simulated memory via {!Sb_sgx.Memsys}, so
+    their traffic is costed. [strcpy]/[strlen] intentionally trust the
+    terminator they find, like the real thing: with an unterminated
+    string they read right past the object — the classic information
+    leak. *)
+
+module Memsys = Sb_sgx.Memsys
+module Scheme = Sb_protection.Scheme
+open Sb_protection.Types
+
+let ms (s : Scheme.t) = s.Scheme.ms
+
+(** Raw (unchecked) strlen in simulated memory: scans for NUL. *)
+let raw_strlen s p =
+  let m = ms s in
+  let a0 = s.Scheme.addr_of p in
+  let rec go i = if Memsys.load m ~addr:(a0 + i) ~width:1 = 0 then i else go (i + 1) in
+  go 0
+
+(** strlen(3): the wrapper can only check that the *start* is valid — the
+    length is the result, not an input. *)
+let strlen s p =
+  s.Scheme.libc_check p 1 Read;
+  raw_strlen s p
+
+(** memcpy(3): wrapper checks both whole buffers, then one raw copy. *)
+let memcpy s ~dst ~src ~len =
+  if len > 0 then begin
+    s.Scheme.libc_check src len Read;
+    s.Scheme.libc_check dst len Write;
+    Memsys.blit (ms s) ~src:(s.Scheme.addr_of src) ~dst:(s.Scheme.addr_of dst) ~len
+  end
+
+(** memmove(3) — same semantics here since {!Memsys.blit} is overlap-safe. *)
+let memmove = memcpy
+
+(** memset(3). *)
+let memset s ~dst ~byte ~len =
+  if len > 0 then begin
+    s.Scheme.libc_check dst len Write;
+    Memsys.fill (ms s) ~addr:(s.Scheme.addr_of dst) ~len ~byte
+  end
+
+(** strcpy(3): length comes from the source's terminator — the canonical
+    overflow primitive. The wrapper checks the source read and the
+    destination write for that discovered length. *)
+let strcpy s ~dst ~src =
+  let n = raw_strlen s src in
+  s.Scheme.libc_check src (n + 1) Read;
+  s.Scheme.libc_check dst (n + 1) Write;
+  Memsys.blit (ms s) ~src:(s.Scheme.addr_of src) ~dst:(s.Scheme.addr_of dst) ~len:(n + 1);
+  n
+
+(** strncpy(3). *)
+let strncpy s ~dst ~src ~len =
+  let n = min len (raw_strlen s src) in
+  s.Scheme.libc_check src n Read;
+  s.Scheme.libc_check dst len Write;
+  Memsys.blit (ms s) ~src:(s.Scheme.addr_of src) ~dst:(s.Scheme.addr_of dst) ~len:n;
+  if n < len then Memsys.fill (ms s) ~addr:(s.Scheme.addr_of dst + n) ~len:(len - n) ~byte:0
+
+(** memcmp(3): compares through checked loads (cheap; used in hash table
+    probes of the workloads). Returns the sign of the first difference. *)
+let memcmp s a b ~len =
+  s.Scheme.libc_check a len Read;
+  s.Scheme.libc_check b len Read;
+  let m = ms s in
+  let aa = s.Scheme.addr_of a and ab = s.Scheme.addr_of b in
+  let rec go i =
+    if i >= len then 0
+    else
+      let x = Memsys.load m ~addr:(aa + i) ~width:1
+      and y = Memsys.load m ~addr:(ab + i) ~width:1 in
+      if x = y then go (i + 1) else compare x y
+  in
+  go 0
+
+(** strcmp(3). *)
+let strcmp s a b =
+  s.Scheme.libc_check a 1 Read;
+  s.Scheme.libc_check b 1 Read;
+  let m = ms s in
+  let aa = s.Scheme.addr_of a and ab = s.Scheme.addr_of b in
+  let rec go i =
+    let x = Memsys.load m ~addr:(aa + i) ~width:1
+    and y = Memsys.load m ~addr:(ab + i) ~width:1 in
+    if x <> y then compare x y else if x = 0 then 0 else go (i + 1)
+  in
+  go 0
+
+(** Write an OCaml string (plus NUL) into a simulated buffer via the
+    scheme's wrapper — a stand-in for snprintf-style formatting. *)
+let strcpy_in s ~dst str =
+  let n = String.length str in
+  s.Scheme.libc_check dst (n + 1) Write;
+  let m = ms s in
+  let a = s.Scheme.addr_of dst in
+  Memsys.touch_range m ~addr:a ~len:(n + 1);
+  Sb_vmem.Vmem.write_string (Memsys.vmem m) ~addr:a str;
+  Sb_vmem.Vmem.store (Memsys.vmem m) ~addr:(a + n) ~width:1 0
+
+(** Read a NUL-terminated simulated string into an OCaml string. *)
+let string_out s p =
+  let n = raw_strlen s p in
+  let m = ms s in
+  let a = s.Scheme.addr_of p in
+  Memsys.touch_range m ~addr:a ~len:n;
+  Sb_vmem.Vmem.read_string (Memsys.vmem m) ~addr:a ~len:n
+
+(** strcat(3): append [src] at [dst]'s terminator — another classic
+    overflow primitive; the wrapper checks the combined length. *)
+let strcat s ~dst ~src =
+  let dlen = raw_strlen s dst in
+  let slen = raw_strlen s src in
+  s.Scheme.libc_check src (slen + 1) Read;
+  s.Scheme.libc_check dst (dlen + slen + 1) Write;
+  Memsys.blit (ms s)
+    ~src:(s.Scheme.addr_of src)
+    ~dst:(s.Scheme.addr_of dst + dlen)
+    ~len:(slen + 1);
+  dlen + slen
+
+(** memchr(3): find [byte] in the first [len] bytes; returns its offset. *)
+let memchr s p ~byte ~len =
+  s.Scheme.libc_check p len Read;
+  let m = ms s in
+  let a = s.Scheme.addr_of p in
+  let rec go i =
+    if i >= len then None
+    else if Memsys.load m ~addr:(a + i) ~width:1 = byte land 0xff then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** strchr(3): like {!memchr} over a NUL-terminated string. *)
+let strchr s p ~byte =
+  let n = raw_strlen s p in
+  memchr s p ~byte ~len:n
+
+(** qsort(3): libc sorts opaque elements and calls back into the
+    *instrumented* application for comparisons. The wrapper provides the
+    proxy the paper describes (§3.2: "writing proxies for callbacks
+    (qsort)"): libc hands the proxy raw element addresses, and the proxy
+    re-attaches the scheme's view before invoking the user comparator
+    with scheme pointers. Elements are [width] bytes. *)
+let qsort s ~base ~nmemb ~width ~cmp =
+  s.Scheme.libc_check base (nmemb * width) Write;
+  let m = ms s in
+  let a0 = s.Scheme.addr_of base in
+  (* the callback proxy: wrap raw addresses back into scheme pointers *)
+  let proxy i j = cmp (s.Scheme.offset base (i * width)) (s.Scheme.offset base (j * width)) in
+  let swap i j =
+    if i <> j then begin
+      let ai = a0 + (i * width) and aj = a0 + (j * width) in
+      for b = 0 to width - 1 do
+        let x = Memsys.load m ~addr:(ai + b) ~width:1 in
+        let y = Memsys.load m ~addr:(aj + b) ~width:1 in
+        Memsys.store m ~addr:(ai + b) ~width:1 y;
+        Memsys.store m ~addr:(aj + b) ~width:1 x
+      done
+    end
+  in
+  (* insertion sort: libc-side, uninstrumented element moves *)
+  for i = 1 to nmemb - 1 do
+    let j = ref i in
+    while !j > 0 && proxy !j (!j - 1) < 0 do
+      swap !j (!j - 1);
+      decr j
+    done
+  done
+
+(** A %-style formatter into a simulated buffer: the printf-family
+    wrapper of §3.2 "tracking and extracting the pointers on-the-fly".
+    Supports %d, %s (a *tagged/simulated* string pointer argument, which
+    the wrapper extracts and bounds-checks) and %%. Returns the number of
+    bytes written (excluding the NUL). *)
+type fmt_arg = Int of int | Str of Sb_protection.Types.ptr
+
+let snprintf s ~dst ~max ~fmt ~args =
+  let out = Buffer.create 64 in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> invalid_arg "Simlibc.snprintf: not enough arguments"
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    (if fmt.[!i] = '%' && !i + 1 < n then begin
+       (match fmt.[!i + 1] with
+        | 'd' ->
+          (match next () with
+           | Int v -> Buffer.add_string out (string_of_int v)
+           | Str _ -> invalid_arg "Simlibc.snprintf: %d expects Int")
+        | 's' ->
+          (match next () with
+           | Str p ->
+             (* extract the pointer, check it, read the string *)
+             let len = raw_strlen s p in
+             s.Scheme.libc_check p (len + 1) Read;
+             Buffer.add_string out (string_out s p)
+           | Int _ -> invalid_arg "Simlibc.snprintf: %s expects Str")
+        | '%' -> Buffer.add_char out '%'
+        | c -> invalid_arg (Printf.sprintf "Simlibc.snprintf: unsupported %%%c" c));
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char out fmt.[!i];
+       incr i
+     end)
+  done;
+  let text = Buffer.contents out in
+  let text =
+    if String.length text > max - 1 then String.sub text 0 (max - 1) else text
+  in
+  strcpy_in s ~dst text;
+  String.length text

@@ -1,0 +1,1 @@
+lib/machine/util.ml: Fmt List

@@ -1,0 +1,82 @@
+(** Global configuration of the simulated machine.
+
+    All byte sizes below are *already scaled*: real hardware sizes divided
+    by [scale]. Keeping working-set : EPC : cache ratios constant preserves
+    every crossover of the paper while letting a full evaluation sweep run
+    in minutes (see DESIGN.md §6). *)
+
+type env =
+  | Outside_enclave  (** normal unconstrained execution (paper's Figure 12) *)
+  | Inside_enclave   (** shielded execution under SGX: MEE costs + EPC paging *)
+
+(** Cycle costs of the memory hierarchy and of instrumentation building
+    blocks. Calibrated against the paper's Figure 2 (relative overheads of
+    Intel SGX w.r.t. native execution) and Skylake latencies. *)
+type costs = {
+  l1_hit : int;          (** L1 data-cache hit *)
+  l2_hit : int;          (** L2 hit *)
+  llc_hit : int;         (** last-level-cache hit *)
+  dram : int;            (** DRAM access outside the enclave *)
+  mee_percent : int;     (** extra cost of an in-enclave DRAM access, in percent
+                             (memory encryption engine + integrity check) *)
+  epc_fault : int;       (** EPC page fault: evict + re-encrypt + load + decrypt *)
+  alu : int;             (** one simple ALU instruction *)
+}
+
+type cache_geometry = {
+  size : int;            (** capacity in bytes *)
+  assoc : int;           (** ways per set *)
+}
+
+type t = {
+  env : env;
+  scale : int;                 (** divisor applied to all real byte sizes *)
+  line_size : int;             (** cache-line size in bytes (not scaled) *)
+  page_size : int;             (** VM page size in bytes (not scaled) *)
+  l1 : cache_geometry;
+  l2 : cache_geometry;
+  llc : cache_geometry;
+  epc_bytes : int;             (** usable EPC capacity (scaled) *)
+  enclave_mem_limit : int;     (** max reserved virtual memory before the
+                                   enclave dies with OOM (scaled) *)
+  costs : costs;
+  max_threads : int;
+}
+
+let default_costs = {
+  l1_hit = 4;
+  l2_hit = 12;
+  llc_hit = 42;
+  dram = 150;
+  mee_percent = 140;           (* in-enclave DRAM ~2.4x native *)
+  epc_fault = 25_000;
+  alu = 1;
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+(** [default ()] models the paper's testbed (4-core Skylake, 32K/256K/8M
+    caches, 94 MiB usable EPC, 4 GiB enclave) scaled down by 64.
+    [epc_bytes] overrides the (already scaled) EPC capacity — the knob
+    behind the §8 "EPC Size" sensitivity sweep. *)
+let default ?(env = Inside_enclave) ?(scale = 64) ?epc_bytes () =
+  {
+    env;
+    scale;
+    line_size = 64;
+    page_size = 4096;
+    l1 = { size = kib 32 / scale; assoc = 8 };
+    l2 = { size = kib 256 / scale; assoc = 8 };
+    llc = { size = mib 8 / scale; assoc = 16 };
+    epc_bytes = (match epc_bytes with Some b -> b | None -> mib 94 / scale);
+    enclave_mem_limit = mib 4096 / scale;
+    costs = default_costs;
+    max_threads = 64;
+  }
+
+(** Scale a real-world byte count into simulated bytes, keeping at least
+    one byte so tiny real sizes do not vanish. *)
+let scaled t real_bytes = max 1 (real_bytes / t.scale)
+
+let is_inside t = t.env = Inside_enclave

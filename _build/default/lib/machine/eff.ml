@@ -1,0 +1,12 @@
+(** Effects used for cooperative multithreading.
+
+    The memory system performs [Yield] periodically while a multithreaded
+    region is active; the scheduler in [Sb_mt] handles it. Defining the
+    effect here keeps the memory system independent of the scheduler. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+(** Set while a scheduler is installed; the memory system only performs
+    [Yield] when this is true, so single-threaded code never pays for an
+    unhandled-effect exception. *)
+let scheduler_active = ref false

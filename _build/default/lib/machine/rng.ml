@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every workload draws randomness from its own [Rng.t] seeded from the
+    experiment id, so runs are reproducible bit-for-bit. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let v = Int64.to_int (next_int64 t) land ((1 lsl 53) - 1) in
+  float_of_int v /. float_of_int (1 lsl 53)
+
+(** Uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(** True with probability [p]. *)
+let bernoulli t p = float t < p
+
+(** A zipf-ish skewed key pick in [0, n): 80% of draws land in the first
+    20% of the space, recursively. Cheap stand-in for memcached key
+    popularity distributions. *)
+let skewed t n =
+  let rec go lo hi depth =
+    if depth = 0 || hi - lo <= 1 then lo + int t (max 1 (hi - lo))
+    else if bernoulli t 0.8 then go lo (lo + max 1 ((hi - lo) / 5)) (depth - 1)
+    else go lo hi 0
+  in
+  go 0 n 1

@@ -1,0 +1,46 @@
+(** Small arithmetic helpers shared across the simulator. *)
+
+(** Round [n] up to the next multiple of [align] (a power of two). *)
+let align_up n align =
+  assert (align land (align - 1) = 0);
+  (n + align - 1) land lnot (align - 1)
+
+(** Round [n] down to a multiple of [align] (a power of two). *)
+let align_down n align =
+  assert (align land (align - 1) = 0);
+  n land lnot (align - 1)
+
+(** Integer ceiling division. *)
+let ceil_div a b = (a + b - 1) / b
+
+(** Position of the highest set bit, i.e. floor(log2 n). Requires n > 0. *)
+let log2_floor n =
+  assert (n > 0);
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+(** Smallest power of two >= n. *)
+let next_pow2 n =
+  if n <= 1 then 1
+  else
+    let l = log2_floor (n - 1) in
+    1 lsl (l + 1)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(** Clamp [v] into [lo, hi]. *)
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+(** Geometric mean of a list of positive floats. *)
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (s /. float_of_int (List.length xs))
+
+(** Pretty-print a byte count as B/KB/MB with one decimal. *)
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n < 1024 then Fmt.pf ppf "%dB" n
+  else if n < 1024 * 1024 then Fmt.pf ppf "%.1fKB" (f /. 1024.)
+  else Fmt.pf ppf "%.1fMB" (f /. (1024. *. 1024.))

@@ -1,0 +1,1 @@
+lib/mpx/mpx.ml: Hashtbl Sb_alloc Sb_machine Sb_protection Sb_sgx Sb_vmem

@@ -1,0 +1,1 @@
+lib/mpx/mpx.mli: Sb_protection Sb_sgx

@@ -1,0 +1,13 @@
+(** Intel MPX model (paper §2.2/§5.2): per-pointer bounds in registers
+    (bndmk/bndcl/bndcu), spilled and filled through a two-level Bounds
+    Directory → Bounds Table structure in *simulated memory* (tables are
+    allocated on demand at 4x the address range they cover and can
+    exhaust the enclave — the paper's Figure 1/7/11 crashes), bndldx
+    value-mismatch semantics (INIT bounds for pointers written by
+    uninstrumented code — and for racy pointer updates, §4.1), narrowing
+    disabled, and weak libc wrappers. *)
+
+(** Build an MPX-hardened execution environment on a machine.
+    @raise Sb_protection.Types.App_crash when bounds-table allocation
+    exhausts enclave memory at run time. *)
+val make : Sb_sgx.Memsys.t -> Sb_protection.Scheme.t

@@ -1,0 +1,1 @@
+lib/mt/mt.ml: Array Effect Fun Sb_machine Sb_sgx

@@ -1,0 +1,1 @@
+lib/mt/mt.mli: Sb_sgx

@@ -1,0 +1,92 @@
+module Memsys = Sb_sgx.Memsys
+module Eff = Sb_machine.Eff
+open Effect.Shallow
+
+type t = Memsys.t
+
+type state =
+  | Pending of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+  | Finished
+
+let yield () = if !Eff.scheduler_active then Effect.perform Eff.Yield
+
+let run ms fns =
+  if !Eff.scheduler_active then invalid_arg "Mt.run: nested parallel regions";
+  let n = Array.length fns in
+  assert (n >= 1 && n <= Array.length fns);
+  let start = Memsys.get_clock ms (Memsys.current_thread ms) in
+  for i = 0 to n - 1 do
+    Memsys.set_clock ms i start
+  done;
+  let state = Array.map (fun f -> Pending f) fns in
+  (* Resume the runnable thread whose clock is smallest: simulated
+     parallel time advances evenly across cores. *)
+  let pick () =
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      match state.(i) with
+      | Finished -> ()
+      | Pending _ | Suspended _ ->
+        if !best < 0 || Memsys.get_clock ms i < Memsys.get_clock ms !best then best := i
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let handler i =
+    {
+      retc = (fun () -> state.(i) <- Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+           match eff with
+           | Eff.Yield ->
+             Some (fun (k : (a, unit) continuation) -> state.(i) <- Suspended k)
+           | _ -> None);
+    }
+  in
+  let rec loop () =
+    match pick () with
+    | None -> ()
+    | Some i ->
+      Memsys.set_thread ms i;
+      (match state.(i) with
+       | Pending f ->
+         state.(i) <- Finished;
+         (* default in case f never yields *)
+         continue_with (fiber f) () (handler i)
+       | Suspended k ->
+         state.(i) <- Finished;
+         continue_with k () (handler i)
+       | Finished -> assert false);
+      loop ()
+  in
+  Eff.scheduler_active := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Eff.scheduler_active := false;
+      (* Sequential code continues on thread 0 at the region's elapsed
+         time (the slowest thread). *)
+      let mx = ref 0 in
+      for i = 0 to n - 1 do
+        mx := max !mx (Memsys.get_clock ms i)
+      done;
+      Memsys.set_thread ms 0;
+      Memsys.set_clock ms 0 !mx)
+    loop
+
+let parallel_for ms ~threads ~lo ~hi f =
+  let n = max 1 threads in
+  let total = hi - lo in
+  if total > 0 then begin
+    let chunk = (total + n - 1) / n in
+    let fns =
+      Array.init n (fun t ->
+          let a = lo + (t * chunk) in
+          let b = min hi (a + chunk) in
+          fun () ->
+            for i = a to b - 1 do
+              f i
+            done)
+    in
+    run ms fns
+  end

@@ -1,0 +1,1 @@
+lib/protection/base.ml: Array Sb_alloc Sb_machine Sb_sgx

@@ -1,0 +1,1 @@
+lib/protection/native.ml: Base Sb_alloc Sb_sgx Scheme Types

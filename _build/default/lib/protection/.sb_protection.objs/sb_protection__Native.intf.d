@@ -1,0 +1,1 @@
+lib/protection/native.mli: Sb_sgx Scheme

@@ -1,0 +1,1 @@
+lib/protection/scheme.ml: Sb_sgx Sb_vmem Types

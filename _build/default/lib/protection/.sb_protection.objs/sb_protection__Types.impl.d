@@ -1,0 +1,1 @@
+lib/protection/types.ml: Fmt

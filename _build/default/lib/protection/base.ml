@@ -1,0 +1,33 @@
+(** Shared run-time state used by every scheme implementation: the heap,
+    the globals region and one stack per simulated thread. *)
+
+module Memsys = Sb_sgx.Memsys
+
+type t = {
+  ms : Memsys.t;
+  heap : Sb_alloc.Freelist.t;
+  globals : Sb_alloc.Bump.t;
+  stacks : Sb_alloc.Stackmem.t option array;
+  stack_bytes : int;
+}
+
+let default_stack_bytes = 256 * 1024
+
+let create ?(stack_bytes = default_stack_bytes) ms =
+  {
+    ms;
+    heap = Sb_alloc.Freelist.create ms;
+    globals = Sb_alloc.Bump.create ms ();
+    stacks = Array.make (Memsys.cfg ms).Sb_machine.Config.max_threads None;
+    stack_bytes;
+  }
+
+(** Stack of the currently scheduled thread, created on first use. *)
+let stack t =
+  let tid = Memsys.current_thread t.ms in
+  match t.stacks.(tid) with
+  | Some s -> s
+  | None ->
+    let s = Sb_alloc.Stackmem.create t.ms ~size:t.stack_bytes in
+    t.stacks.(tid) <- Some s;
+    s

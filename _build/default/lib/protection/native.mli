@@ -1,0 +1,7 @@
+(** The uninstrumented baseline ("native SGX" in the paper's plots): no
+    checks, no metadata, no protection. Out-of-bounds accesses silently
+    read or corrupt whatever is mapped; only the MMU stops accesses to
+    unmapped or guard pages. Every experiment normalizes against this. *)
+
+(** Build the baseline execution environment on a machine. *)
+val make : Sb_sgx.Memsys.t -> Scheme.t

@@ -1,0 +1,78 @@
+(** The protection-scheme interface.
+
+    A workload performs *every* memory operation through a [t] — the
+    moral equivalent of compiling it with the scheme's LLVM/GCC pass
+    under the SCONE monolithic-build assumption (§3 of the paper: no
+    uninstrumented application code exists).
+
+    Access families:
+    - [load]/[store]: ordinary instrumented accesses (checked).
+    - [safe_load]/[safe_store]: accesses the compiler can prove
+      in-bounds (fixed struct offsets, constant indices into fixed-size
+      arrays). Schemes with the "safe accesses" optimization of §4.4
+      elide the check; with the optimization off they behave like
+      [load]/[store].
+    - [check_range] + [*_unchecked]: the loop-hoisting pattern of §4.4 —
+      one range check before the loop, raw accesses inside. Schemes that
+      cannot hoist (no per-object bounds, or the optimization is off)
+      implement [check_range] as a no-op and make the "unchecked" ops
+      checked, so semantics never weaken.
+    - [load_ptr]/[store_ptr]: pointer-typed memory traffic; this is
+      where per-pointer metadata schemes (MPX) spill and fill bounds.
+    - [libc_check]: what the scheme's libc wrapper does to a buffer
+      argument before calling the real (uninstrumented) libc. *)
+
+open Types
+
+type t = {
+  name : string;
+  ms : Sb_sgx.Memsys.t;
+  extras : extras;
+  (* allocation *)
+  malloc : int -> ptr;
+  calloc : int -> int -> ptr;
+  realloc : ptr -> int -> ptr;
+  free : ptr -> unit;
+  global : int -> ptr;
+  stack_push : unit -> int;
+  stack_alloc : int -> ptr;
+  stack_pop : int -> unit;
+  (* pointer ops *)
+  offset : ptr -> int -> ptr;
+  addr_of : ptr -> int;
+  (* data accesses *)
+  load : ptr -> int -> int;
+  store : ptr -> int -> int -> unit;
+  safe_load : ptr -> int -> int;
+  safe_store : ptr -> int -> int -> unit;
+  check_range : ptr -> int -> access -> unit;
+  load_unchecked : ptr -> int -> int;
+  store_unchecked : ptr -> int -> int -> unit;
+  (* pointer-typed accesses *)
+  load_ptr : ptr -> ptr;
+  store_ptr : ptr -> ptr -> unit;
+  (* pointer-typed accesses inside a hoisted loop (after check_range on
+     the table): SGXBounds reads the tagged word raw — bounds metadata
+     arrives with the data, zero extra work ("no additional memory
+     lookups for simple loop iterations", §1). Schemes with disjoint
+     metadata (MPX) still pay their bndldx/bndstx; schemes that cannot
+     hoist keep the full checked path. *)
+  load_ptr_unchecked : ptr -> ptr;
+  store_ptr_unchecked : ptr -> ptr -> unit;
+  (* libc wrapper behaviour *)
+  libc_check : ptr -> int -> access -> unit;
+}
+
+(** Raw untagged address of [p] under scheme [s]. *)
+let addr s p = s.addr_of p
+
+(** Peak reserved virtual memory of the run so far — the metric of the
+    paper's memory plots. *)
+let peak_vm s = Sb_vmem.Vmem.peak_reserved_bytes (Sb_sgx.Memsys.vmem s.ms)
+
+let reserved_vm s = Sb_vmem.Vmem.reserved_bytes (Sb_sgx.Memsys.vmem s.ms)
+
+(** Convenience: pointer + byte offset, then a checked load. *)
+let load_at s p off width = s.load (s.offset p off) width
+
+let store_at s p off width v = s.store (s.offset p off) width v

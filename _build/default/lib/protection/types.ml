@@ -1,0 +1,72 @@
+(** Common types of the protection-scheme interface. *)
+
+(** A simulated application pointer.
+
+    [v] is the scheme's machine representation: for the native baseline,
+    AddressSanitizer, Baggy Bounds and Intel MPX it is the plain address;
+    for SGXBounds it is the tagged word of the paper's Figure 5 (upper
+    bound in the high half, address in the low half).
+
+    [bnd] models metadata travelling in *registers* next to the pointer —
+    only Intel MPX uses it (the contents of a BNDx register associated
+    with this pointer value). It deliberately does NOT survive a trip
+    through memory: storing a pointer and loading it back goes through
+    bndstx/bndldx, which is where MPX's multithreading troubles live. *)
+type ptr = {
+  v : int;
+  bnd : bound option;
+}
+
+and bound = { lo : int; hi : int }  (** referent object is [lo, hi) *)
+
+type access = Read | Write
+
+(** A detected memory-safety violation (the hardened program would print
+    a diagnostic and abort). *)
+type violation = {
+  scheme : string;
+  addr : int;          (** untagged offending address *)
+  access : access;
+  width : int;
+  lo : int;            (** referent lower bound if known, else 0 *)
+  hi : int;            (** referent upper bound if known, else 0 *)
+  reason : string;
+}
+
+exception Violation of violation
+
+(** The application died for a reason other than a detected violation —
+    e.g. Intel MPX exhausting enclave memory with bounds tables, or a
+    native segfault surfacing from the MMU. *)
+exception App_crash of string
+
+(** Per-scheme counters surfaced into experiment results. *)
+type extras = {
+  mutable bts_allocated : int;        (** MPX bounds tables created *)
+  mutable quarantine_bytes : int;     (** ASan quarantine footprint *)
+  mutable redzone_bytes : int;        (** ASan redzone footprint *)
+  mutable boundless_reads : int;      (** SGXBounds overlay reads *)
+  mutable boundless_writes : int;     (** SGXBounds overlay writes *)
+  mutable violations : int;           (** violations observed (boundless mode) *)
+  mutable checks_elided : int;        (** checks removed by optimizations *)
+  mutable checks_done : int;          (** bounds checks executed *)
+}
+
+let fresh_extras () = {
+  bts_allocated = 0;
+  quarantine_bytes = 0;
+  redzone_bytes = 0;
+  boundless_reads = 0;
+  boundless_writes = 0;
+  violations = 0;
+  checks_elided = 0;
+  checks_done = 0;
+}
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s: out-of-bounds %a of %d byte(s) at 0x%x (object [0x%x,0x%x)): %s"
+    v.scheme pp_access v.access v.width v.addr v.lo v.hi v.reason

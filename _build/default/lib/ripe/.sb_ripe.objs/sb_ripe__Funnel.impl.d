@@ -1,0 +1,1 @@
+lib/ripe/funnel.ml: List Ripe

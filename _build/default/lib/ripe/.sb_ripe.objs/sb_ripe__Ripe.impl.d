@@ -1,0 +1,1 @@
+lib/ripe/ripe.ml: List Printf Sb_libc Sb_protection Sb_sgx Sb_vmem

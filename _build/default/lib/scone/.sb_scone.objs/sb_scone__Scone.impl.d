@@ -1,0 +1,1 @@
+lib/scone/scone.ml: Buffer Hashtbl Printf Sb_machine Sb_protection Sb_sgx Sb_vmem String

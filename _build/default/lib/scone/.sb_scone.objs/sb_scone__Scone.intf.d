@@ -1,0 +1,1 @@
+lib/scone/scone.mli: Sb_protection

@@ -1,0 +1,140 @@
+module Memsys = Sb_sgx.Memsys
+module Vmem = Sb_vmem.Vmem
+module Scheme = Sb_protection.Scheme
+module Config = Sb_machine.Config
+open Sb_protection.Types
+
+type shield = No_shield | Encrypted
+
+type channel = {
+  id : int;
+  shield : shield;
+  mutable rx : string;         (* bytes waiting to be read (plaintext) *)
+  mutable tx : Buffer.t;       (* bytes written by the app (plaintext view) *)
+}
+
+type fd = int
+
+type t = {
+  s : Scheme.t;
+  ms : Memsys.t;
+  inside : bool;
+  (* the per-thread syscall slot inside enclave memory that arguments are
+     staged through (SCONE's lock-free request queues) *)
+  syscall_slot : ptr;
+  slot_bytes : int;
+  channels : (int, channel) Hashtbl.t;
+  mutable next_fd : int;
+  mutable syscalls : int;
+}
+
+(* Cost constants (cycles). SCONE's asynchronous syscalls avoid enclave
+   exits: a call is an enqueue + wake of an outside syscall thread. *)
+let queue_round_trip = 600   (* enqueue, outside thread service, response *)
+let kernel_syscall = 300     (* plain syscall when running outside *)
+let shield_per_byte = 4      (* AES-GCM-ish per-byte cost inside the enclave *)
+
+let slot_default = 16 * 1024
+
+let create s =
+  let ms = s.Scheme.ms in
+  let inside = (Memsys.cfg ms).Config.env = Config.Inside_enclave in
+  {
+    s;
+    ms;
+    inside;
+    syscall_slot = s.Scheme.malloc slot_default;
+    slot_bytes = slot_default;
+    channels = Hashtbl.create 16;
+    next_fd = 3;
+    syscalls = 0;
+  }
+
+let scheme t = t.s
+
+let open_channel t ~shield =
+  let id = t.next_fd in
+  t.next_fd <- id + 1;
+  Hashtbl.replace t.channels id { id; shield; rx = ""; tx = Buffer.create 256 };
+  id
+
+let chan t fd =
+  match Hashtbl.find_opt t.channels fd with
+  | Some c -> c
+  | None -> raise (App_crash (Printf.sprintf "SCONE: bad file descriptor %d" fd))
+
+let feed t fd bytes =
+  let c = chan t fd in
+  c.rx <- c.rx ^ bytes
+
+let sent t fd = Buffer.contents (chan t fd).tx
+let clear_sent t fd = Buffer.clear (chan t fd).tx
+let syscalls t = t.syscalls
+
+let charge_transition t =
+  t.syscalls <- t.syscalls + 1;
+  Memsys.charge_alu t.ms (if t.inside then queue_round_trip else kernel_syscall)
+
+let charge_shield t c len =
+  if t.inside && c.shield = Encrypted then Memsys.charge_alu t.ms (shield_per_byte * len)
+
+(* Copy [len] bytes between the app buffer and the syscall slot in
+   chunks: the SCONE argument copy. Only performed inside the enclave
+   (outside, the kernel reads user memory directly). *)
+let stage_copy t ~app_addr ~len ~to_slot =
+  if t.inside && len > 0 then begin
+    let i = ref 0 in
+    let slot_addr = t.s.Scheme.addr_of t.syscall_slot in
+    while !i < len do
+      let chunk = min (len - !i) t.slot_bytes in
+      let src, dst =
+        if to_slot then (app_addr + !i, slot_addr) else (slot_addr, app_addr + !i)
+      in
+      Memsys.blit t.ms ~src ~dst ~len:chunk;
+      i := !i + chunk
+    done
+  end
+
+let read t fd ~buf ~len =
+  let c = chan t fd in
+  let n = min len (String.length c.rx) in
+  if n > 0 then begin
+    (* the wrapper checks the destination before anything is written *)
+    t.s.Scheme.libc_check buf n Write;
+    charge_transition t;
+    charge_shield t c n;
+    let app = t.s.Scheme.addr_of buf in
+    let vm = Memsys.vmem t.ms in
+    if t.inside then begin
+      (* the outside syscall thread deposits data in the syscall slot,
+         then the enclave copies it into the application buffer *)
+      let slot = t.s.Scheme.addr_of t.syscall_slot in
+      let i = ref 0 in
+      while !i < n do
+        let chunk = min (n - !i) t.slot_bytes in
+        Vmem.write_string vm ~addr:slot (String.sub c.rx !i chunk);
+        Memsys.touch_range t.ms ~addr:slot ~len:chunk;
+        Memsys.blit t.ms ~src:slot ~dst:(app + !i) ~len:chunk;
+        i := !i + chunk
+      done
+    end
+    else begin
+      Vmem.write_string vm ~addr:app (String.sub c.rx 0 n);
+      Memsys.touch_range t.ms ~addr:app ~len:n
+    end;
+    c.rx <- String.sub c.rx n (String.length c.rx - n)
+  end;
+  n
+
+let write t fd ~buf ~len =
+  let c = chan t fd in
+  if len > 0 then begin
+    t.s.Scheme.libc_check buf len Read;
+    charge_transition t;
+    stage_copy t ~app_addr:(t.s.Scheme.addr_of buf) ~len ~to_slot:true;
+    charge_shield t c len;
+    let addr = t.s.Scheme.addr_of buf in
+    Memsys.touch_range t.ms ~addr ~len;
+    Buffer.add_string c.tx (Vmem.read_string (Memsys.vmem t.ms) ~addr ~len)
+  end;
+  len

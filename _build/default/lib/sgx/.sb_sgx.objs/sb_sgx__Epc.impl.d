@@ -1,0 +1,1 @@
+lib/sgx/epc.ml: Array Bytes Hashtbl

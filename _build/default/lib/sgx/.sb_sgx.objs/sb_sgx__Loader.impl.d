@@ -1,0 +1,1 @@
+lib/sgx/loader.ml: Char Int64 Memsys Printf Sb_vmem String

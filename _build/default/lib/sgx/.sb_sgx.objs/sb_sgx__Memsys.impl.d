@@ -1,0 +1,1 @@
+lib/sgx/memsys.ml: Array Effect Epc Sb_cache Sb_machine Sb_vmem

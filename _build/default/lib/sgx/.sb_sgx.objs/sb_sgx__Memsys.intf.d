@@ -1,0 +1,1 @@
+lib/sgx/memsys.mli: Sb_machine Sb_vmem

@@ -1,0 +1,69 @@
+type t = {
+  capacity : int;
+  slots : int array;            (* page number per slot, -1 = free *)
+  refbit : Bytes.t;
+  index : (int, int) Hashtbl.t; (* page -> slot *)
+  mutable hand : int;
+  mutable used : int;
+  mutable faults : int;
+}
+
+let create ~capacity_pages =
+  let capacity = max 1 capacity_pages in
+  {
+    capacity;
+    slots = Array.make capacity (-1);
+    refbit = Bytes.make capacity '\000';
+    index = Hashtbl.create (capacity * 2);
+    hand = 0;
+    used = 0;
+    faults = 0;
+  }
+
+let touch t ~page =
+  match Hashtbl.find_opt t.index page with
+  | Some slot ->
+    Bytes.unsafe_set t.refbit slot '\001';
+    true
+  | None ->
+    t.faults <- t.faults + 1;
+    let slot =
+      if t.used < t.capacity then begin
+        let s = t.used in
+        t.used <- t.used + 1;
+        s
+      end
+      else begin
+        (* CLOCK sweep: clear reference bits until an unreferenced victim
+           is found; guaranteed to terminate within two laps. *)
+        let rec sweep () =
+          let s = t.hand in
+          t.hand <- (t.hand + 1) mod t.capacity;
+          if Bytes.get t.refbit s = '\001' then begin
+            Bytes.set t.refbit s '\000';
+            sweep ()
+          end
+          else s
+        in
+        let s = sweep () in
+        Hashtbl.remove t.index t.slots.(s);
+        s
+      end
+    in
+    t.slots.(slot) <- page;
+    Bytes.set t.refbit slot '\001';
+    Hashtbl.replace t.index page slot;
+    false
+
+let faults t = t.faults
+let resident_pages t = t.used
+let capacity_pages t = t.capacity
+let reset_stats t = t.faults <- 0
+
+let clear t =
+  Array.fill t.slots 0 t.capacity (-1);
+  Bytes.fill t.refbit 0 t.capacity '\000';
+  Hashtbl.reset t.index;
+  t.hand <- 0;
+  t.used <- 0;
+  t.faults <- 0

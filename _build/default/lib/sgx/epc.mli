@@ -1,0 +1,29 @@
+(** Enclave Page Cache model.
+
+    The EPC is a fixed-size set of physical pages protected by the memory
+    encryption engine. When the enclave touches a page that is not
+    resident, the OS paging path evicts a victim (re-encrypting it) and
+    loads + decrypts the requested page — the paper's §2.1 puts this at
+    2x for sequential and up to 2000x for random access patterns; we
+    charge a flat [epc_fault] cycle cost which lands in that band once
+    cache effects are added on top.
+
+    Eviction is CLOCK (second chance), a good stand-in for the Linux SGX
+    driver's LRU-approximating behaviour. *)
+
+type t
+
+val create : capacity_pages:int -> t
+
+(** [touch t ~page] notes an access to virtual page number [page].
+    Returns [true] if it was resident (no fault). On a fault the page
+    becomes resident, evicting a victim if the EPC is full. *)
+val touch : t -> page:int -> bool
+
+val faults : t -> int
+val resident_pages : t -> int
+val capacity_pages : t -> int
+val reset_stats : t -> unit
+
+(** Drop all residency state (between experiments). *)
+val clear : t -> unit

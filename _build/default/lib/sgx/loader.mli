@@ -1,0 +1,49 @@
+(** Enclave loader and attestation model.
+
+    Models the SGX machinery the paper relies on around the edges:
+
+    - §5.1: "SGXBounds relies on SGX enclaves (and thus the virtual
+      address space) to start from 0x0 ... we set vm.mmap_min_addr to
+      zero and modified the Intel SGX driver (5 LOC) to always start the
+      enclave at address 0x0." [create] enforces that requirement and
+      fails like the unmodified driver would when the low mapping is not
+      permitted.
+    - SCONE provisions secrets only after *remote attestation*: the
+      enclave's initial contents are measured page by page (ECREATE /
+      EADD / EEXTEND), finalized (EINIT), and quoted. [measure]/[quote]/
+      [verify_quote] model that chain: any tampering with the loaded
+      image changes the measurement and verification fails. *)
+
+type t
+
+(** The unmodified driver's failure mode. *)
+exception Driver_error of string
+
+(** [create ~mmap_min_addr ~size ms] — ECREATE: reserve the enclave
+    range starting at 0x0.
+    @raise Driver_error if [mmap_min_addr > 0] (the stock-kernel failure
+    mode the paper's 5-line driver patch removes). *)
+val create : mmap_min_addr:int -> size:int -> Memsys.t -> t
+
+(** EADD + EEXTEND: copy a page of initial content into the enclave and
+    fold it into the measurement. Returns the page's base address. *)
+val add_page : t -> content:string -> int
+
+(** EINIT: finalize. No pages can be added afterwards. *)
+val init : t -> unit
+
+(** The enclave measurement (MRENCLAVE analogue); stable across loads of
+    identical content, different for any content/order change.
+    @raise Failure before [init]. *)
+val measurement : t -> int64
+
+(** Produce an attestation quote binding [report_data] (e.g. a key-
+    exchange nonce) to the measurement. *)
+val quote : t -> report_data:string -> string
+
+(** Check a quote against an expected measurement and report data —
+    what SCONE's configuration service does before releasing secrets. *)
+val verify_quote : expected:int64 -> report_data:string -> string -> bool
+
+(** Enclave base address (always 0 — the tagged-pointer prerequisite). *)
+val base : t -> int

@@ -1,0 +1,150 @@
+module Config = Sb_machine.Config
+module Vmem = Sb_vmem.Vmem
+module Hierarchy = Sb_cache.Hierarchy
+
+type snapshot = {
+  cycles : int;
+  instrs : int;
+  mem_accesses : int;
+  llc_misses : int;
+  epc_faults : int;
+}
+
+type t = {
+  cfg : Config.t;
+  vmem : Vmem.t;
+  hier : Hierarchy.t;
+  epc : Epc.t option;
+  clocks : int array;
+  mutable tid : int;
+  mutable instrs : int;
+  mutable mem_accesses : int;
+  mutable yield_countdown : int;
+  line_mask : int;
+  dram_cost : int;          (* cost of a DRAM access in the current env *)
+}
+
+
+let yield_quantum = 32
+
+let create (cfg : Config.t) =
+  let epc =
+    match cfg.env with
+    | Config.Inside_enclave ->
+      Some (Epc.create ~capacity_pages:(max 4 (cfg.epc_bytes / cfg.page_size)))
+    | Config.Outside_enclave -> None
+  in
+  let dram_cost =
+    match cfg.env with
+    | Config.Inside_enclave -> cfg.costs.dram * (100 + cfg.costs.mee_percent) / 100
+    | Config.Outside_enclave -> cfg.costs.dram
+  in
+  {
+    cfg;
+    vmem = Vmem.create cfg;
+    hier = Hierarchy.create cfg;
+    epc;
+    clocks = Array.make cfg.max_threads 0;
+    tid = 0;
+    instrs = 0;
+    mem_accesses = 0;
+    yield_countdown = yield_quantum;
+    line_mask = lnot (cfg.line_size - 1);
+    dram_cost;
+  }
+
+let cfg t = t.cfg
+let vmem t = t.vmem
+
+let maybe_yield t =
+  t.yield_countdown <- t.yield_countdown - 1;
+  if t.yield_countdown <= 0 then begin
+    t.yield_countdown <- yield_quantum;
+    if !Sb_machine.Eff.scheduler_active then Effect.perform Sb_machine.Eff.Yield
+  end
+
+(* Cost of touching one cache line at [addr]. *)
+let line_cost t addr =
+  match Hierarchy.access t.hier ~addr with
+  | Hierarchy.Dram ->
+    let c = t.dram_cost in
+    (match t.epc with
+     | None -> c
+     | Some epc ->
+       if Epc.touch epc ~page:(addr lsr 12) then c else c + t.cfg.costs.epc_fault)
+  | served -> Hierarchy.hit_cost t.hier served
+
+let touch t ~addr ~width =
+  t.mem_accesses <- t.mem_accesses + 1;
+  let first = addr land t.line_mask in
+  let last = (addr + width - 1) land t.line_mask in
+  let cost = if first = last then line_cost t addr else line_cost t addr + line_cost t (addr + width - 1) in
+  t.clocks.(t.tid) <- t.clocks.(t.tid) + cost;
+  maybe_yield t
+
+let touch_range t ~addr ~len =
+  if len > 0 then begin
+    let line = t.cfg.line_size in
+    let first = addr land t.line_mask in
+    let last = (addr + len - 1) land t.line_mask in
+    let a = ref first in
+    let cost = ref 0 in
+    let n = ref 0 in
+    while !a <= last do
+      cost := !cost + line_cost t !a;
+      incr n;
+      a := !a + line
+    done;
+    t.mem_accesses <- t.mem_accesses + !n;
+    t.clocks.(t.tid) <- t.clocks.(t.tid) + !cost;
+    maybe_yield t
+  end
+
+let load t ~addr ~width =
+  touch t ~addr ~width;
+  Vmem.load t.vmem ~addr ~width
+
+let store t ~addr ~width v =
+  touch t ~addr ~width;
+  Vmem.store t.vmem ~addr ~width v
+
+let blit t ~src ~dst ~len =
+  touch_range t ~addr:src ~len;
+  touch_range t ~addr:dst ~len;
+  Vmem.blit t.vmem ~src ~dst ~len
+
+let fill t ~addr ~len ~byte =
+  touch_range t ~addr ~len;
+  Vmem.fill t.vmem ~addr ~len ~byte
+
+let charge_alu t n =
+  t.instrs <- t.instrs + n;
+  t.clocks.(t.tid) <- t.clocks.(t.tid) + (n * t.cfg.costs.alu)
+
+let set_thread t tid = t.tid <- tid
+let current_thread t = t.tid
+let get_clock t tid = t.clocks.(tid)
+let set_clock t tid v = t.clocks.(tid) <- v
+
+let elapsed t = Array.fold_left max 0 t.clocks
+
+let snapshot t =
+  {
+    cycles = elapsed t;
+    instrs = t.instrs;
+    mem_accesses = t.mem_accesses;
+    llc_misses = Hierarchy.llc_misses t.hier;
+    epc_faults = (match t.epc with None -> 0 | Some e -> Epc.faults e);
+  }
+
+let reset t =
+  Array.fill t.clocks 0 (Array.length t.clocks) 0;
+  t.tid <- 0;
+  t.instrs <- 0;
+  t.mem_accesses <- 0;
+  Hierarchy.flush t.hier;
+  Hierarchy.reset_stats t.hier;
+  match t.epc with None -> () | Some e -> Epc.clear e
+
+let epc_faults t = match t.epc with None -> 0 | Some e -> Epc.faults e
+let llc_misses t = Hierarchy.llc_misses t.hier

@@ -1,0 +1,65 @@
+(** The memory system: every simulated access pays its way here.
+
+    Combines the virtual address space ({!Sb_vmem.Vmem}), the cache
+    hierarchy ({!Sb_cache.Hierarchy}) and — when running inside an
+    enclave — the EPC paging model ({!Epc}). Protection schemes issue
+    loads/stores through this module so that both their *data* accesses
+    and their *metadata* accesses (shadow memory, bounds tables, lower
+    bounds) have first-class cache and paging behaviour, which is the
+    mechanism behind all of the paper's performance results.
+
+    Cycle accounting is per-thread (see {!Sb_mt}); elapsed time of a
+    parallel region is the max over its threads. *)
+
+type t
+
+type snapshot = {
+  cycles : int;        (** elapsed cycles (max over thread clocks) *)
+  instrs : int;        (** retired ALU instructions charged *)
+  mem_accesses : int;  (** memory operations issued *)
+  llc_misses : int;
+  epc_faults : int;
+}
+
+val create : Sb_machine.Config.t -> t
+val cfg : t -> Sb_machine.Config.t
+val vmem : t -> Sb_vmem.Vmem.t
+
+(** {2 Costed data accesses} *)
+
+val load : t -> addr:int -> width:int -> int
+val store : t -> addr:int -> width:int -> int -> unit
+
+(** Charge the cost of an access without transferring data (used for
+    metadata whose value the simulator keeps elsewhere). *)
+val touch : t -> addr:int -> width:int -> unit
+
+(** Touch every cache line in [addr, addr+len). *)
+val touch_range : t -> addr:int -> len:int -> unit
+
+(** Costed memmove inside simulated memory. *)
+val blit : t -> src:int -> dst:int -> len:int -> unit
+
+(** Costed memset. *)
+val fill : t -> addr:int -> len:int -> byte:int -> unit
+
+(** Charge [n] simple ALU instructions to the current thread. *)
+val charge_alu : t -> int -> unit
+
+(** {2 Thread clocks} *)
+
+val set_thread : t -> int -> unit
+val current_thread : t -> int
+val get_clock : t -> int -> int
+val set_clock : t -> int -> int -> unit
+
+(** {2 Statistics} *)
+
+val snapshot : t -> snapshot
+
+(** Reset clocks, stats, cache contents and EPC residency — a fresh run
+    on the same address space contents. *)
+val reset : t -> unit
+
+val epc_faults : t -> int
+val llc_misses : t -> int

@@ -1,0 +1,1 @@
+lib/vmem/vmem.ml: Array Bytes Char Int32 Int64 Sb_machine String

@@ -1,0 +1,206 @@
+let addr_bits = 31
+let addr_mask = (1 lsl addr_bits) - 1
+let page_size = 4096
+let page_shift = 12
+let num_pages = 1 lsl (addr_bits - page_shift)
+
+type perm = Read_only | Read_write | Guard
+
+type fault_kind = Unmapped | Guard_hit | Write_to_ro
+
+exception Fault of { addr : int; kind : fault_kind }
+exception Enclave_oom of { requested : int; reserved : int; limit : int }
+
+type page = { data : Bytes.t; mutable perm : perm }
+
+type t = {
+  pages : page option array;
+  limit : int;
+  mutable reserved : int;
+  mutable peak : int;
+  (* Next-fit cursor for address-space placement of anonymous mappings.
+     Page index, never reset below its start so address reuse after unmap
+     only happens via explicit [addr]. We start at page 16 to keep a null
+     guard zone, mirroring the paper's vm.mmap_min_addr = 0 setup where
+     the enclave starts at 0 but page 0 is still never handed out. *)
+  mutable cursor : int;
+}
+
+let create (cfg : Sb_machine.Config.t) =
+  {
+    pages = Array.make num_pages None;
+    limit = cfg.enclave_mem_limit;
+    reserved = 0;
+    peak = 0;
+    cursor = 16;
+  }
+
+let reserved_bytes t = t.reserved
+let peak_reserved_bytes t = t.peak
+let headroom t = t.limit - t.reserved
+
+let is_mapped t addr =
+  addr >= 0 && addr <= addr_mask && t.pages.(addr lsr page_shift) <> None
+
+let fault addr kind = raise (Fault { addr; kind })
+
+let pages_of_len len = (len + page_size - 1) lsr page_shift
+
+let range_free t page0 npages =
+  let rec go i = i >= npages || (t.pages.(page0 + i) = None && go (i + 1)) in
+  page0 + npages <= num_pages && go 0
+
+let find_gap t npages =
+  (* Next-fit from the cursor, wrapping once. *)
+  let rec scan start tries =
+    if tries > num_pages then
+      raise
+        (Enclave_oom { requested = npages * page_size; reserved = t.reserved; limit = t.limit })
+    else if start + npages > num_pages then scan 16 (tries + 1)
+    else if range_free t start npages then start
+    else scan (start + 1) (tries + npages)
+  in
+  scan t.cursor 0
+
+let map t ?addr ~len ~perm () =
+  if len <= 0 then invalid_arg "Vmem.map: len <= 0";
+  let npages = pages_of_len len in
+  let bytes = npages * page_size in
+  if t.reserved + bytes > t.limit then
+    raise (Enclave_oom { requested = bytes; reserved = t.reserved; limit = t.limit });
+  let page0 =
+    match addr with
+    | None ->
+      let p = find_gap t npages in
+      t.cursor <- p + npages;
+      p
+    | Some a ->
+      if a land (page_size - 1) <> 0 then invalid_arg "Vmem.map: addr not page-aligned";
+      let p = a lsr page_shift in
+      if not (range_free t p npages) then invalid_arg "Vmem.map: overlap";
+      p
+  in
+  for i = page0 to page0 + npages - 1 do
+    t.pages.(i) <- Some { data = Bytes.make page_size '\000'; perm }
+  done;
+  t.reserved <- t.reserved + bytes;
+  if t.reserved > t.peak then t.peak <- t.reserved;
+  page0 lsl page_shift
+
+let unmap t ~addr ~len =
+  let page0 = addr lsr page_shift and npages = pages_of_len len in
+  for i = page0 to page0 + npages - 1 do
+    match t.pages.(i) with
+    | Some _ ->
+      t.pages.(i) <- None;
+      t.reserved <- t.reserved - page_size
+    | None -> ()
+  done
+
+let protect t ~addr ~len ~perm =
+  let page0 = addr lsr page_shift and npages = pages_of_len len in
+  for i = page0 to page0 + npages - 1 do
+    match t.pages.(i) with
+    | Some p -> p.perm <- perm
+    | None -> fault (i lsl page_shift) Unmapped
+  done
+
+let get_page_rd t addr =
+  if addr < 0 || addr > addr_mask then fault addr Unmapped;
+  match t.pages.(addr lsr page_shift) with
+  | None -> fault addr Unmapped
+  | Some p -> if p.perm = Guard then fault addr Guard_hit else p
+
+let get_page_wr t addr =
+  if addr < 0 || addr > addr_mask then fault addr Unmapped;
+  match t.pages.(addr lsr page_shift) with
+  | None -> fault addr Unmapped
+  | Some p ->
+    (match p.perm with
+     | Read_write -> p
+     | Guard -> fault addr Guard_hit
+     | Read_only -> fault addr Write_to_ro)
+
+let off addr = addr land (page_size - 1)
+
+(* Slow byte-at-a-time paths for accesses that straddle a page. *)
+let load_bytes_slow t addr width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    let a = addr + i in
+    let p = get_page_rd t a in
+    v := (!v lsl 8) lor Char.code (Bytes.unsafe_get p.data (off a))
+  done;
+  !v
+
+let store_bytes_slow t addr width v =
+  for i = 0 to width - 1 do
+    let a = addr + i in
+    let p = get_page_wr t a in
+    Bytes.unsafe_set p.data (off a) (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let load t ~addr ~width =
+  let o = off addr in
+  if o + width <= page_size then begin
+    let p = get_page_rd t addr in
+    match width with
+    | 1 -> Bytes.get_uint8 p.data o
+    | 2 -> Bytes.get_uint16_le p.data o
+    | 4 -> Int32.to_int (Bytes.get_int32_le p.data o) land 0xFFFFFFFF
+    | 8 -> Int64.to_int (Bytes.get_int64_le p.data o) land max_int
+    | _ -> invalid_arg "Vmem.load: width"
+  end
+  else load_bytes_slow t addr width
+
+let store t ~addr ~width v =
+  let o = off addr in
+  if o + width <= page_size then begin
+    let p = get_page_wr t addr in
+    match width with
+    | 1 -> Bytes.set_uint8 p.data o (v land 0xff)
+    | 2 -> Bytes.set_uint16_le p.data o (v land 0xffff)
+    | 4 -> Bytes.set_int32_le p.data o (Int32.of_int v)
+    | 8 -> Bytes.set_int64_le p.data o (Int64.of_int v)
+    | _ -> invalid_arg "Vmem.store: width"
+  end
+  else store_bytes_slow t addr width v
+
+let blit t ~src ~dst ~len =
+  if len > 0 then begin
+    (* Copy via a temporary buffer: simple and overlap-safe; [len] is
+       bounded by object sizes which are small in the scaled simulation. *)
+    let buf = Bytes.create len in
+    let i = ref 0 in
+    while !i < len do
+      let a = src + !i in
+      let p = get_page_rd t a in
+      let chunk = min (len - !i) (page_size - off a) in
+      Bytes.blit p.data (off a) buf !i chunk;
+      i := !i + chunk
+    done;
+    let i = ref 0 in
+    while !i < len do
+      let a = dst + !i in
+      let p = get_page_wr t a in
+      let chunk = min (len - !i) (page_size - off a) in
+      Bytes.blit buf !i p.data (off a) chunk;
+      i := !i + chunk
+    done
+  end
+
+let write_string t ~addr s =
+  String.iteri (fun i c -> store t ~addr:(addr + i) ~width:1 (Char.code c)) s
+
+let read_string t ~addr ~len =
+  String.init len (fun i -> Char.chr (load t ~addr:(addr + i) ~width:1))
+
+let fill t ~addr ~len ~byte =
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let p = get_page_wr t a in
+    let chunk = min (len - !i) (page_size - off a) in
+    Bytes.fill p.data (off a) chunk (Char.chr (byte land 0xff));
+    i := !i + chunk
+  done

@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Parsec_dedup Sb_machine Sb_protection Wctx

@@ -1,0 +1,1 @@
+lib/workloads/parsec_dedup.ml: List Sb_libc Sb_machine Sb_protection Wctx

@@ -1,0 +1,1 @@
+lib/workloads/phoenix.ml: Phoenix_pca Sb_machine Sb_protection Wctx

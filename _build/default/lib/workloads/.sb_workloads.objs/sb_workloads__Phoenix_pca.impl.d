@@ -1,0 +1,1 @@
+lib/workloads/phoenix_pca.ml: Array Sb_machine Sb_protection Wctx

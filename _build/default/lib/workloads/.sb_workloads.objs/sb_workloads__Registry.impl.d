@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List Parsec Phoenix Printf Spec Wctx

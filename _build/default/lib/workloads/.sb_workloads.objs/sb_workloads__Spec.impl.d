@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Parsec Sb_libc Sb_machine Sb_protection Spec_astar Spec_bzip2 Spec_gobmk Spec_hmmer Spec_libquantum Spec_sjeng Wctx

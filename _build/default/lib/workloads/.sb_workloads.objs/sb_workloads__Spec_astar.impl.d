@@ -1,0 +1,1 @@
+lib/workloads/spec_astar.ml: Hashtbl List Sb_machine Sb_protection Wctx

@@ -1,0 +1,1 @@
+lib/workloads/spec_bzip2.ml: Array Bytes Char Sb_machine Sb_protection String Wctx

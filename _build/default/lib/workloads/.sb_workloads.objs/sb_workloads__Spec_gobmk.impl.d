@@ -1,0 +1,1 @@
+lib/workloads/spec_gobmk.ml: List Sb_libc Sb_machine Sb_protection Wctx

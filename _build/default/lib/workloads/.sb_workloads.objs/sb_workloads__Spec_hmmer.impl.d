@@ -1,0 +1,1 @@
+lib/workloads/spec_hmmer.ml: List Sb_machine Sb_protection Wctx

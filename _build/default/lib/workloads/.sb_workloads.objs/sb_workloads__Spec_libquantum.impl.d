@@ -1,0 +1,1 @@
+lib/workloads/spec_libquantum.ml: Float Sb_machine Sb_protection Wctx

@@ -1,0 +1,1 @@
+lib/workloads/wctx.ml: Array Sb_machine Sb_mt Sb_protection Sb_sgx

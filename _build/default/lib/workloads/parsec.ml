@@ -1,0 +1,237 @@
+(** The nine supported PARSEC 3.0 kernels (§6.1: blackscholes, bodytrack,
+    dedup, ferret, fluidanimate, streamcluster, swaptions, vips, x264).
+
+    As with Phoenix, each kernel reproduces the original's memory-access
+    character — the property that decides its column in Figure 7:
+    blackscholes is pointer-free (near-zero overhead everywhere), dedup
+    allocates until Intel MPX's bounds tables exhaust the enclave,
+    swaptions churns tiny objects (AddressSanitizer's quarantine
+    blow-up), fluidanimate chases cell/neighbour pointers (MPX ~4x
+    memory), and so on. *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+(** blackscholes: embarrassingly parallel option pricing over flat
+    struct-of-arrays data; heavy arithmetic per element. *)
+let blackscholes ctx ~n =
+  let price = array ctx n 4 and strike = array ctx n 4 in
+  let vol = array ctx n 4 and out = array ctx n 4 in
+  fill_random ctx price n 4;
+  fill_random ctx strike n 4;
+  fill_random ctx vol n 4;
+  parallel ctx n (fun _t lo hi ->
+      for i = lo to hi - 1 do
+        let sp = get ctx price i 4 and k = get ctx strike i 4 and v = get ctx vol i 4 in
+        (* CNDF-ish arithmetic: ~40 retired instructions per option *)
+        work ctx 40;
+        set ctx out i 4 (fx_mul (sp + k) (v + 1))
+      done)
+
+(** bodytrack: particles evaluate likelihoods against shared body-part
+    objects reached through a pointer table. *)
+let bodytrack ctx ~n =
+  let nparts = 256 in
+  let parts = array ctx nparts 8 in
+  for i = 0 to nparts - 1 do
+    let o = array ctx 8 8 in
+    fill_random ctx o 8 8;
+    ctx.s.Scheme.store_ptr (idx ctx parts i 8) o
+  done;
+  parallel ctx n (fun _t lo hi ->
+      for i = lo to hi - 1 do
+        for e = 0 to 3 do
+          let pi = ((i * 13) + (e * 7)) mod nparts in
+          let part = ctx.s.Scheme.load_ptr (idx ctx parts pi 8) in
+          let v = ctx.s.Scheme.safe_load (idx ctx part (e * 2) 8) 8 in
+          work ctx 16;
+          ignore v
+        done
+      done)
+
+(** dedup: content-defined chunking with a rolling fingerprint and a
+    digest store — see {!Parsec_dedup}. The allocation volume is what
+    kills Intel MPX in the paper (missing bar in Figure 7). *)
+let dedup ctx ~n = Parsec_dedup.run ctx ~n
+
+(** ferret: content-based similarity search — query vectors ranked
+    against database features reached through a pointer index. *)
+let ferret ctx ~n =
+  let db = 1024 and dims = 32 in
+  let index = array ctx db 8 in
+  for i = 0 to db - 1 do
+    let f = array ctx dims 4 in
+    fill_random ctx f dims 4;
+    ctx.s.Scheme.store_ptr (idx ctx index i 8) f
+  done;
+  let query = array ctx dims 4 in
+  fill_random ctx query dims 4;
+  parallel ctx n (fun _t lo hi ->
+      for q = lo to hi - 1 do
+        for c = 0 to 15 do
+          let cand = ctx.s.Scheme.load_ptr (idx ctx index (((q * 31) + c) mod db) 8) in
+          let d = ref 0 in
+          ctx.s.Scheme.check_range cand (dims * 4) Read;
+          for j = 0 to dims - 1 do
+            let a = ctx.s.Scheme.load_unchecked (idx ctx cand j 4) 4 in
+            let b = get ctx query j 4 in
+            d := !d + ((a - b) * (a - b));
+            work ctx 3
+          done
+        done
+      done)
+
+(** fluidanimate: grid cells with neighbour-pointer lists; each timestep
+    streams every cell and dereferences its neighbours. *)
+let fluidanimate ctx ~n =
+  (* n = number of cells *)
+  let cells = array ctx n 8 in
+  let cell_bytes = 56 + (6 * 8) + 4 in
+  for i = 0 to n - 1 do
+    ctx.s.Scheme.store_ptr (idx ctx cells i 8) (ctx.s.Scheme.malloc cell_bytes)
+  done;
+  (* wire 6 neighbours per cell *)
+  for i = 0 to n - 1 do
+    let c = ctx.s.Scheme.load_ptr (idx ctx cells i 8) in
+    for d = 0 to 5 do
+      let nb = (i + (d * 17) + 1) mod n in
+      ctx.s.Scheme.store_ptr
+        (ctx.s.Scheme.offset c (56 + (d * 8)))
+        (ctx.s.Scheme.load_ptr (idx ctx cells nb 8))
+    done
+  done;
+  for _step = 1 to 2 do
+    parallel ctx n (fun _t lo hi ->
+        ctx.s.Scheme.check_range (idx ctx cells lo 8) ((hi - lo) * 8) Read;
+        for i = lo to hi - 1 do
+          let c = ctx.s.Scheme.load_ptr_unchecked (idx ctx cells i 8) in
+          let acc = ref 0 in
+          for d = 0 to 5 do
+            let nb = ctx.s.Scheme.load_ptr (ctx.s.Scheme.offset c (56 + (d * 8))) in
+            acc := !acc + ctx.s.Scheme.safe_load nb 4;
+            work ctx 8
+          done;
+          ctx.s.Scheme.safe_store c 4 (!acc / 6)
+        done)
+  done
+
+(** streamcluster: repeated distance evaluations of flat points against
+    a small center set — regular, cache-friendly. *)
+let streamcluster ctx ~n =
+  let dims = 8 and k = 8 in
+  let pts = array ctx (n * dims) 4 in
+  fill_random ctx pts (n * dims) 4;
+  let centers = array ctx (k * dims) 4 in
+  fill_random ctx centers (k * dims) 4;
+  for _pass = 1 to 2 do
+    parallel ctx n (fun _t lo hi ->
+        for i = lo to hi - 1 do
+          let base = idx ctx pts (i * dims) 4 in
+          ctx.s.Scheme.check_range base (dims * 4) Read;
+          ctx.s.Scheme.check_range centers (k * dims * 4) Read;
+          for c = 0 to (k / 2) - 1 do
+            for j = 0 to dims - 1 do
+              let p = ctx.s.Scheme.load_unchecked (idx ctx base j 4) 4 in
+              let q = ctx.s.Scheme.load_unchecked (idx ctx centers ((c * dims) + j) 4) 4 in
+              work ctx 3;
+              ignore (p - q)
+            done
+          done
+        done)
+  done
+
+(** swaptions: Monte-Carlo paths re-allocating a handful of tiny arrays
+    every iteration — tiny working set, extreme allocator churn. *)
+let swaptions ctx ~n =
+  parallel ctx n (fun _t lo hi ->
+      for i = lo to hi - 1 do
+        ignore i;
+        let path = array ctx 8 8 in
+        let rates = array ctx 6 8 in
+        let disc = array ctx 4 8 in
+        (* HJM path simulation: arithmetic-dense per step *)
+        write_seq ctx path ~lo:0 ~hi:8 ~width:8 (fun j ->
+            work ctx 45;
+            j * 3);
+        write_seq ctx rates ~lo:0 ~hi:6 ~width:8 (fun j ->
+            work ctx 45;
+            j + 1);
+        work ctx 180; (* discounting and payoff *)
+        let acc = ref 0 in
+        read_seq ctx path ~lo:0 ~hi:8 ~width:8 (fun _ v -> acc := !acc + v);
+        write_seq ctx disc ~lo:0 ~hi:4 ~width:8 (fun _ -> !acc);
+        ctx.s.Scheme.free path;
+        ctx.s.Scheme.free rates;
+        ctx.s.Scheme.free disc
+      done)
+
+(** vips: image pipeline — three sequential transforms through
+    intermediate buffers. *)
+let vips ctx ~n =
+  let src = array ctx n 8 in
+  fill_random ctx src n 8;
+  let tmp1 = array ctx n 8 and tmp2 = array ctx n 8 in
+  let stage inp out f =
+    parallel ctx n (fun _t lo hi ->
+        read_seq ctx inp ~lo ~hi ~width:8 (fun i v ->
+            work ctx 8;
+            ctx.s.Scheme.store_unchecked (idx ctx out i 8) 8 (f v));
+        (* the write side of the stage gets its own hoisted check *)
+        ())
+  in
+  (* NB: writes above use store_unchecked under the read range check of
+     [inp]; add an explicit range check for the output buffer. *)
+  ctx.s.Scheme.check_range tmp1 (n * 8) Write;
+  ctx.s.Scheme.check_range tmp2 (n * 8) Write;
+  ctx.s.Scheme.check_range src (n * 8) Write;
+  stage src tmp1 (fun v -> (v lsr 1) + 3);
+  stage tmp1 tmp2 (fun v -> v lxor 0x5A5A);
+  stage tmp2 src (fun v -> v + 1)
+
+(** x264: motion estimation — current frame blocks compared against
+    candidate positions in a reference frame addressed through row
+    pointers. *)
+let x264 ctx ~n =
+  (* n = pixels per frame; 16:9-ish geometry *)
+  let w = 256 in
+  let h = max 16 (n / w) in
+  let mk_frame () =
+    let rows = array ctx h 8 in
+    for y = 0 to h - 1 do
+      let r = array ctx w 1 in
+      fill_random ctx r w 1;
+      ctx.s.Scheme.store_ptr (idx ctx rows y 8) r
+    done;
+    rows
+  in
+  let cur = mk_frame () and reff = mk_frame () in
+  let blocks_y = h / 16 and blocks_x = w / 16 in
+  parallel ctx blocks_y (fun _t by_lo by_hi ->
+      for by = by_lo to by_hi - 1 do
+        for bx = 0 to blocks_x - 1 do
+          (* 4 candidate motion vectors, SAD over a sampled 16x4 patch *)
+          for cand = 0 to 3 do
+            let dy = (cand * 3) mod 5 and dx = (cand * 7) mod 5 in
+            for y = 0 to 3 do
+              let cy = (by * 16) + (y * 4) in
+              let ry = min (h - 1) (cy + dy) in
+              let crow = ctx.s.Scheme.load_ptr (idx ctx cur cy 8) in
+              let rrow = ctx.s.Scheme.load_ptr (idx ctx reff ry 8) in
+              let sad = ref 0 in
+              (* the current-row walk is affine in x: its check hoists *)
+              ctx.s.Scheme.check_range (idx ctx crow (bx * 16) 1) 16 Read;
+              for x = 0 to 15 do
+                let cx = (bx * 16) + x in
+                let rx = min (w - 1) (cx + dx) in
+                sad := !sad
+                       + abs (ctx.s.Scheme.load_unchecked (idx ctx crow cx 1) 1
+                              - get ctx rrow rx 1);
+                work ctx 2
+              done;
+              ignore !sad
+            done
+          done
+        done
+      done)

@@ -1,0 +1,114 @@
+(** dedup: content-defined chunking with a real rolling hash.
+
+    The original pipeline: a Rabin-style rolling hash slides over the
+    stream and declares a chunk boundary whenever the low bits of the
+    fingerprint hit a magic value; each chunk is digested and looked up
+    in a hash table of previously seen chunks; fresh chunks are copied
+    into the store (never freed — the allocation volume that OOMs Intel
+    MPX in Figure 7).
+
+    Properties the tests rely on:
+    - chunking is *content-defined*: identical content produces identical
+      boundaries, so duplicate regions dedup regardless of alignment;
+    - a duplicated stream stores (almost) no new bytes the second time. *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+let boundary_mask = 0x3F (* with 4-byte steps: expected chunk ~256 bytes *)
+let max_chunk = 1024
+let min_chunk = 64
+
+type store = {
+  nbuckets : int;
+  buckets : ptr;
+  mutable stored_chunks : int;
+  mutable stored_bytes : int;
+  mutable dup_chunks : int;
+}
+
+let create_store ctx ~nbuckets =
+  { nbuckets; buckets = ctx.s.Scheme.calloc nbuckets 8; stored_chunks = 0;
+    stored_bytes = 0; dup_chunks = 0 }
+
+(* Store node: [0] chain next (8), [8] digest (8), [16] length (4),
+   [24] payload pointer (8). *)
+let node_bytes = 32
+
+let lookup_or_store ctx st data ~off ~len ~digest =
+  let b = ctx.s.Scheme.offset st.buckets ((digest land (st.nbuckets - 1)) * 8) in
+  let rec walk node =
+    if is_null ctx node then None
+    else if
+      ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 8) 8 = digest
+      && ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 16) 4 = len
+    then Some node
+    else begin
+      work ctx 2;
+      walk (ctx.s.Scheme.load_ptr node)
+    end
+  in
+  match walk (ctx.s.Scheme.load_ptr b) with
+  | Some _ -> st.dup_chunks <- st.dup_chunks + 1
+  | None ->
+    let payload = ctx.s.Scheme.malloc len in
+    Sb_libc.Simlibc.memcpy ctx.s ~dst:payload ~src:(ctx.s.Scheme.offset data off) ~len;
+    let node = ctx.s.Scheme.malloc node_bytes in
+    ctx.s.Scheme.store_ptr node (ctx.s.Scheme.load_ptr b);
+    ctx.s.Scheme.store (ctx.s.Scheme.offset node 8) 8 digest;
+    ctx.s.Scheme.store (ctx.s.Scheme.offset node 16) 4 len;
+    ctx.s.Scheme.store_ptr (ctx.s.Scheme.offset node 24) payload;
+    ctx.s.Scheme.store_ptr b node;
+    st.stored_chunks <- st.stored_chunks + 1;
+    st.stored_bytes <- st.stored_bytes + len
+
+(** Chunk the [len]-byte stream at [data] (one scan: the rolling
+    fingerprint decides boundaries while the chunk digest accumulates),
+    deduplicating into [st]. Returns boundary offsets (chunk ends). *)
+let chunk_stream ctx st data ~len =
+  ctx.s.Scheme.check_range data len Read;
+  let boundaries = ref [] in
+  let start = ref 0 in
+  let fp = ref 0 and dg = ref 0xcbf29ce484222 in
+  let i = ref 0 in
+  while !i < len do
+    let w = ctx.s.Scheme.load_unchecked (idx ctx data !i 1) 4 in
+    fp := ((!fp * 31) + w) land 0xFFFFFF;
+    dg := (!dg lxor w) * 0x10000001b3 land max_int;
+    work ctx 7;
+    let size = !i + 4 - !start in
+    let at_boundary =
+      (size >= min_chunk && !fp land boundary_mask = boundary_mask) || size >= max_chunk
+    in
+    if at_boundary then begin
+      lookup_or_store ctx st data ~off:!start ~len:size ~digest:!dg;
+      boundaries := (!i + 4) :: !boundaries;
+      start := !i + 4;
+      fp := 0;
+      dg := 0xcbf29ce484222
+    end;
+    i := !i + 4
+  done;
+  if !start < len then
+    lookup_or_store ctx st data ~off:!start ~len:(len - !start) ~digest:!dg;
+  List.rev !boundaries
+
+(** The kernel: an [n]-scaled stream where 3/4 of the content repeats
+    earlier blocks — dedup's natural workload. The store never frees. *)
+let run ctx ~n =
+  let st = create_store ctx ~nbuckets:8192 in
+  let stream_len = 32768 in
+  let passes = max 1 (n / 80) in
+  parallel ctx passes (fun _t lo hi ->
+      let stream = array ctx stream_len 1 in
+      for p = lo to hi - 1 do
+        (* half the passes carry fresh content; the rest repeat one of a
+           small pool of earlier blocks *)
+        let seed = if p land 1 = 0 then 1000 + p else p land 15 in
+        write_seq ctx stream ~lo:0 ~hi:(stream_len / 4) ~width:4 (fun i ->
+            ((seed * 131) + (i * 7) + (i lsr 5)) land 0xFFFFFF);
+        ignore (chunk_stream ctx st stream ~len:stream_len)
+      done;
+      ctx.s.Scheme.free stream)

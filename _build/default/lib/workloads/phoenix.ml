@@ -1,0 +1,173 @@
+(** The seven Phoenix 2.0 kernels (§6.1).
+
+    Each kernel reproduces the memory-access character of the original —
+    pointer intensity, access pattern, allocation behaviour and relative
+    working-set size — because those are what drive the spread of
+    overheads in the paper's Figure 7. [n] scales the working set; the
+    defaults in {!Registry} land the same side of the EPC boundary as the
+    originals did on real hardware. *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+(** histogram: byte-stream scan with tiny per-thread tables —
+    pointer-free, near-zero overhead under every scheme. *)
+let histogram ctx ~n =
+  let input = array ctx n 8 in
+  fill_random ctx input n 8;
+  parallel ctx n (fun _t lo hi ->
+      let local = array ctx 256 4 in
+      read_seq ctx input ~lo ~hi ~width:8 (fun _ v ->
+          (* three colour channels per word *)
+          work ctx 6;
+          let r = v land 0xff and g = (v lsr 8) land 0xff and b = (v lsr 16) land 0xff in
+          set ctx local (r land 0x7f) 4 (get ctx local (r land 0x7f) 4 + 1);
+          set ctx local (g land 0x7f) 4 (get ctx local (g land 0x7f) 4 + 1);
+          set ctx local (b land 0x7f) 4 (get ctx local (b land 0x7f) 4 + 1));
+      ctx.s.Scheme.free local)
+
+(** kmeans: Phoenix passes the point set as an array of point pointers
+    (an array of point pointers); iterative passes re-walk it every iteration — the Figure 8 /
+    Table 3 exemplar whose overheads flip when the working set crosses
+    the EPC, and whose pointer table makes Intel MPX's bounds tables grow
+    with the input. *)
+let kmeans ctx ~n =
+  let dim = 7 and k = 4 and iters = 2 in
+  let points = array ctx n 8 in
+  for i = 0 to n - 1 do
+    let p = ctx.s.Scheme.malloc (dim * 4) in
+    ctx.s.Scheme.check_range p (dim * 4) Write;
+    for j = 0 to dim - 1 do
+      ctx.s.Scheme.store_unchecked (idx ctx p j 4) 4 (Rng.int ctx.rng 1000)
+    done;
+    ctx.s.Scheme.store_ptr (idx ctx points i 8) p
+  done;
+  let centers = array ctx (k * dim) 4 in
+  fill_random ctx centers (k * dim) 4;
+  let assign = array ctx n 4 in
+  for _iter = 1 to iters do
+    parallel ctx n (fun _t lo hi ->
+        ctx.s.Scheme.check_range (idx ctx points lo 8) ((hi - lo) * 8) Read;
+        ctx.s.Scheme.check_range centers (k * dim * 4) Read;
+        for i = lo to hi - 1 do
+          let row = ctx.s.Scheme.load_ptr_unchecked (idx ctx points i 8) in
+          ctx.s.Scheme.check_range row (dim * 4) Read;
+          let best = ref 0 and bestd = ref max_int in
+          for c = 0 to k - 1 do
+            let d = ref 0 in
+            for j = 0 to dim - 1 do
+              let pv = ctx.s.Scheme.load_unchecked (idx ctx row j 4) 4 in
+              let cv = ctx.s.Scheme.load_unchecked (idx ctx centers ((c * dim) + j) 4) 4 in
+              let diff = pv - cv in
+              d := !d + (diff * diff);
+              work ctx 3
+            done;
+            if !d < !bestd then begin
+              bestd := !d;
+              best := c
+            end
+          done;
+          set ctx assign i 4 !best
+        done);
+    (* centre update: sequential reduction pass *)
+    read_seq ctx assign ~lo:0 ~hi:n ~width:4 (fun _ _ -> work ctx 2)
+  done
+
+(** linear_regression: single streaming pass accumulating five sums. *)
+let linear_regression ctx ~n =
+  let pts = array ctx (n * 2) 4 in
+  fill_random ctx pts (n * 2) 4;
+  parallel ctx n (fun _t lo hi ->
+      read_seq ctx pts ~lo:(lo * 2) ~hi:(hi * 2) ~width:4 (fun _ _ -> work ctx 5))
+
+(** matrixmul: naive triple loop, cache-unfriendly column walks in [b];
+    only three objects, so Intel MPX keeps all bounds in registers. *)
+let matrixmul ctx ~n =
+  (* n is the matrix dimension *)
+  let a = array ctx (n * n) 4 and b = array ctx (n * n) 4 and c = array ctx (n * n) 4 in
+  fill_random ctx a (n * n) 4;
+  fill_random ctx b (n * n) 4;
+  parallel ctx n (fun _t lo hi ->
+      for i = lo to hi - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0 in
+          let row = idx ctx a (i * n) 4 in
+          ctx.s.Scheme.check_range row (n * 4) Read;
+          (* the b column walk has an affine stride, so scalar evolution
+             hoists its check too (the paper's 20% matrixmul gain) *)
+          ctx.s.Scheme.check_range b (n * n * 4) Read;
+          for kk = 0 to n - 1 do
+            let av = ctx.s.Scheme.load_unchecked (ctx.s.Scheme.offset row (kk * 4)) 4 in
+            let bv = ctx.s.Scheme.load_unchecked (idx ctx b ((kk * n) + j) 4) 4 in
+            acc := !acc + (av * bv);
+            work ctx 2
+          done;
+          set ctx c ((i * n) + j) 4 !acc
+        done
+      done)
+
+(** pca: principal component analysis by power iteration over an
+    array-of-row-pointers matrix — see {!Phoenix_pca}. The a[i][k]
+    indexing re-derives the row pointer per element: the paper's worst
+    case for Intel MPX (10x instructions from bndldx). *)
+let pca ctx ~n = Phoenix_pca.run ctx ~n
+
+(** string_match: for every input key, byte-compare against four fixed
+    "encrypted" keys with early exit. *)
+let string_match ctx ~n =
+  let klen = 16 in
+  let keys = array ctx (n * klen) 1 in
+  fill_random ctx keys (n * klen) 1;
+  let targets = array ctx (4 * klen) 1 in
+  fill_random ctx targets (4 * klen) 1;
+  parallel ctx n (fun _t lo hi ->
+      for i = lo to hi - 1 do
+        let kbase = idx ctx keys (i * klen) 1 in
+        ctx.s.Scheme.check_range kbase klen Read;
+        for t = 0 to 3 do
+          let matched = ref true in
+          let b = ref 0 in
+          while !matched && !b < klen do
+            let kv = ctx.s.Scheme.load_unchecked (ctx.s.Scheme.offset kbase !b) 1 in
+            let tv = get ctx targets ((t * klen) + !b) 1 in
+            work ctx 2;
+            if kv <> tv then matched := false;
+            incr b
+          done
+        done
+      done)
+
+(** wordcount: hash table of counted words with chained, individually
+    allocated nodes — pointer- and allocation-intensive. *)
+let wordcount ctx ~n =
+  let nbuckets = 4096 in
+  let buckets = ctx.s.Scheme.calloc nbuckets 8 in
+  let node_bytes = 28 in (* [0]=next ptr, [8]=count, [16]=word id *)
+  let distinct = max 64 (n / 4) in
+  parallel ctx n (fun _t lo hi ->
+      for _i = lo to hi - 1 do
+        let word = Rng.int ctx.rng distinct in
+        let h = (word * 2654435761) land (nbuckets - 1) in
+        work ctx 12; (* hashing the word's characters *)
+        let head = idx ctx buckets h 8 in
+        let rec walk node depth =
+          if is_null ctx node || depth > 16 then None
+          else begin
+            work ctx 2;
+            if ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 16) 4 = word then Some node
+            else walk (ctx.s.Scheme.load_ptr node) (depth + 1)
+          end
+        in
+        match walk (ctx.s.Scheme.load_ptr head) 0 with
+        | Some node ->
+          let cnt = ctx.s.Scheme.offset node 8 in
+          ctx.s.Scheme.safe_store cnt 4 (ctx.s.Scheme.safe_load cnt 4 + 1)
+        | None ->
+          let fresh = ctx.s.Scheme.malloc node_bytes in
+          ctx.s.Scheme.store_ptr fresh (ctx.s.Scheme.load_ptr head);
+          ctx.s.Scheme.store (ctx.s.Scheme.offset fresh 8) 4 1;
+          ctx.s.Scheme.store (ctx.s.Scheme.offset fresh 16) 4 word;
+          ctx.s.Scheme.store_ptr head fresh
+      done)

@@ -1,0 +1,103 @@
+(** pca: principal component analysis by power iteration, over a matrix
+    stored as an array of row pointers (Phoenix passes the data as
+    "int pointer pointer").
+
+    The math is the real thing: v <- normalize(Aᵀ(A v)) converges to the
+    dominant right singular vector (the first principal direction of the
+    row-centred data); tests plant a known dominant direction and check
+    that the iteration recovers it.
+
+    The memory behaviour is the paper's worst case for Intel MPX: the
+    compiled [a\[i\]\[k\]] indexing re-derives the row pointer on every
+    element access, so each inner-loop step performs a pointer load —
+    free for SGXBounds (the tag rides in the word), a bndldx for MPX. *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+type mat = {
+  n : int;             (* rows = cols *)
+  rows : ptr;          (* row-pointer table *)
+}
+
+let elem ctx m i k =
+  (* a[i][k]: row-pointer load then element load, both inside hoisted
+     ranges (the checks hoist; MPX's metadata load does not) *)
+  let row = ctx.s.Scheme.load_ptr_unchecked (idx ctx m.rows i 8) in
+  ctx.s.Scheme.load_unchecked (idx ctx row k 4) 4
+
+(** Build an n x n matrix whose rows are s_i * u + noise for a planted
+    unit-ish direction u; returns (matrix, planted u as an int array). *)
+let build ctx ~n ~noise =
+  let u = Array.init n (fun k -> if k land 1 = 0 then 50 + (k mod 7) else -(40 + (k mod 5))) in
+  let rows = array ctx n 8 in
+  for i = 0 to n - 1 do
+    let r = array ctx n 4 in
+    ctx.s.Scheme.check_range r (n * 4) Write;
+    let s = 1 + (i mod 5) in
+    for k = 0 to n - 1 do
+      let nz = if noise = 0 then 0 else Rng.int ctx.rng (2 * noise) - noise in
+      (* store sign-magnitude-free: offset by 2^20 to keep values positive *)
+      ctx.s.Scheme.store_unchecked (idx ctx r k 4) 4 (((s * u.(k)) + nz) + (1 lsl 20))
+    done;
+    ctx.s.Scheme.store_ptr (idx ctx rows i 8) r
+  done;
+  ({ n; rows }, u)
+
+let signed v = v - (1 lsl 20)
+
+(** Power iteration: returns the dominant direction as an int array
+    (scaled to max |v| = 2^16). *)
+let power_iteration ctx m ~iters =
+  let n = m.n in
+  let v = Array.init n (fun k -> ((k * 37) mod 97) - 48) in
+  let w = Array.make n 0 in
+  for _it = 1 to iters do
+    ctx.s.Scheme.check_range m.rows (n * 8) Read;
+    (* w = A v (row-centred implicitly: the +2^20 offset cancels after
+       centring v to zero mean) *)
+    let v_mean = Array.fold_left ( + ) 0 v / n in
+    for i = 0 to n - 1 do
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (signed (elem ctx m i k) * (v.(k) - v_mean));
+        work ctx 4
+      done;
+      w.(i) <- !acc
+    done;
+    (* rescale w to avoid overflow *)
+    let wmax = Array.fold_left (fun a x -> max a (abs x)) 1 w in
+    let w = Array.map (fun x -> x * 65536 / wmax) w in
+    (* v = A^T w, with w centred so the storage offset cancels again *)
+    let w_mean = Array.fold_left ( + ) 0 w / n in
+    for k = 0 to n - 1 do
+      let acc = ref 0 in
+      for i = 0 to n - 1 do
+        acc := !acc + (signed (elem ctx m i k) * (w.(i) - w_mean));
+        work ctx 4
+      done;
+      v.(k) <- !acc
+    done;
+    let vmax = Array.fold_left (fun a x -> max a (abs x)) 1 v in
+    Array.iteri (fun k x -> v.(k) <- x * 65536 / vmax) v
+  done;
+  v
+
+(** Cosine-squared similarity of two directions, in percent. *)
+let alignment_pct a b =
+  let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+       let x = float_of_int x and y = float_of_int b.(i) in
+       dot := !dot +. (x *. y);
+       na := !na +. (x *. x);
+       nb := !nb +. (y *. y))
+    a;
+  int_of_float (100.0 *. !dot *. !dot /. (!na *. !nb))
+
+(** The kernel. [n] is the matrix dimension. *)
+let run ctx ~n =
+  let m, _u = build ctx ~n ~noise:8 in
+  ignore (power_iteration ctx m ~iters:2)

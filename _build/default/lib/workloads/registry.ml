@@ -1,0 +1,75 @@
+(** Registry of all evaluation workloads with their default (Figure 7 /
+    Figure 11) working-set parameters.
+
+    [default_n] is calibrated so each kernel's working set sits on the
+    same side of the (scaled) EPC boundary as the original did against
+    the real 94 MiB EPC, which is what Figure 7's spread depends on.
+    [ws_hint] documents the approximate simulated working set. *)
+
+type suite = Phoenix | Parsec | Spec
+
+type spec = {
+  name : string;
+  suite : suite;
+  multithreaded : bool;
+  (* pointer-intensive kernels are where Intel MPX's bounds traffic and
+     tables hurt; documented here and asserted by tests *)
+  pointer_intensive : bool;
+  default_n : int;
+  run : Wctx.t -> n:int -> unit;
+}
+
+let spec name suite ~mt ~ptr ~n run =
+  { name; suite; multithreaded = mt; pointer_intensive = ptr; default_n = n; run }
+
+let phoenix =
+  [
+    spec "histogram" Phoenix ~mt:true ~ptr:false ~n:131072 Phoenix.histogram;
+    spec "kmeans" Phoenix ~mt:true ~ptr:true ~n:8192 Phoenix.kmeans;
+    spec "linear_regression" Phoenix ~mt:true ~ptr:false ~n:262144 Phoenix.linear_regression;
+    spec "matrixmul" Phoenix ~mt:true ~ptr:false ~n:96 Phoenix.matrixmul;
+    spec "pca" Phoenix ~mt:true ~ptr:true ~n:256 Phoenix.pca;
+    spec "string_match" Phoenix ~mt:true ~ptr:false ~n:32768 Phoenix.string_match;
+    spec "wordcount" Phoenix ~mt:true ~ptr:true ~n:32768 Phoenix.wordcount;
+  ]
+
+let parsec =
+  [
+    spec "blackscholes" Parsec ~mt:true ~ptr:false ~n:131072 Parsec.blackscholes;
+    spec "bodytrack" Parsec ~mt:true ~ptr:true ~n:32768 Parsec.bodytrack;
+    spec "dedup" Parsec ~mt:true ~ptr:true ~n:65536 Parsec.dedup;
+    spec "ferret" Parsec ~mt:true ~ptr:true ~n:1024 Parsec.ferret;
+    spec "fluidanimate" Parsec ~mt:true ~ptr:true ~n:8192 Parsec.fluidanimate;
+    spec "streamcluster" Parsec ~mt:true ~ptr:false ~n:16384 Parsec.streamcluster;
+    spec "swaptions" Parsec ~mt:true ~ptr:false ~n:8192 Parsec.swaptions;
+    spec "vips" Parsec ~mt:true ~ptr:false ~n:131072 Parsec.vips;
+    spec "x264" Parsec ~mt:true ~ptr:true ~n:49152 Parsec.x264;
+  ]
+
+let spec_cpu2006 =
+  [
+    spec "astar" Spec ~mt:false ~ptr:true ~n:196608 Spec.astar;
+    spec "bzip2" Spec ~mt:false ~ptr:false ~n:16384 Spec.bzip2;
+    spec "gobmk" Spec ~mt:false ~ptr:false ~n:12800 Spec.gobmk;
+    spec "h264ref" Spec ~mt:false ~ptr:true ~n:98304 Spec.h264ref;
+    spec "hmmer" Spec ~mt:false ~ptr:false ~n:262144 Spec.hmmer;
+    spec "lbm" Spec ~mt:false ~ptr:false ~n:32768 Spec.lbm;
+    spec "libquantum" Spec ~mt:false ~ptr:false ~n:131072 Spec.libquantum;
+    spec "mcf" Spec ~mt:false ~ptr:true ~n:196608 Spec.mcf;
+    spec "milc" Spec ~mt:false ~ptr:false ~n:16384 Spec.milc;
+    spec "namd" Spec ~mt:false ~ptr:false ~n:32768 Spec.namd;
+    spec "sjeng" Spec ~mt:false ~ptr:false ~n:65536 Spec.sjeng;
+    spec "sphinx3" Spec ~mt:false ~ptr:false ~n:131072 Spec.sphinx3;
+    spec "xalancbmk" Spec ~mt:false ~ptr:true ~n:131072 Spec.xalancbmk;
+  ]
+
+let all = phoenix @ parsec @ spec_cpu2006
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Registry.find: unknown workload %S" name)
+
+let of_suite suite = List.filter (fun s -> s.suite = suite) all
+
+let suite_name = function Phoenix -> "phoenix" | Parsec -> "parsec" | Spec -> "spec"

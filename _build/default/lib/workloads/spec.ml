@@ -1,0 +1,199 @@
+(** The 13 supported SPEC CPU2006 programs (§6.7: the paper runs 13 of
+    19; perlbench, gcc, soplex, dealII, omnetpp and povray are excluded
+    for the same reasons given there).
+
+    All kernels are single-threaded (SPEC is) and more CPU-intensive than
+    Phoenix/PARSEC — more arithmetic per memory access — so SGX restricts
+    them less, as in Figure 11 vs Figure 7. Pointer-heavy programs (mcf,
+    astar, xalancbmk) are the ones whose bounds tables kill Intel MPX. *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+(** astar: a complete A* pathfinder (binary heap, parent-pointer path
+    reconstruction) over individually allocated nodes — see
+    {!Spec_astar}. Pointer-heavy with a large working set: the first of
+    the paper's three MPX OOM victims. *)
+let astar ctx ~n = Spec_astar.run ctx ~n
+
+(** bzip2: the full Burrows-Wheeler pipeline (RLE/BWT/MTF/entropy) —
+    see {!Spec_bzip2}. Flat buffers, byte-granularity, sort-dominated. *)
+let bzip2 ctx ~n = Spec_bzip2.run ctx ~n
+
+(** gobmk: Go playouts with real capture mechanics (flood-fill groups,
+    liberty counting, suicide filter) — see {!Spec_gobmk}. Small hot
+    arrays, branchy, ALU-heavy. *)
+let gobmk ctx ~n = Spec_gobmk.run ctx ~n
+
+(** h264ref: reference-encoder motion search, lighter than x264. *)
+let h264ref ctx ~n = Parsec.x264 ctx ~n:(n / 2)
+
+(** hmmer: full profile-HMM Viterbi with traceback — see {!Spec_hmmer}.
+    Dense sequential DP, arithmetic-heavy. *)
+let hmmer ctx ~n = Spec_hmmer.run ctx ~n
+
+(** lbm: lattice-Boltzmann — two large grids streamed sequentially;
+    working set far beyond the EPC but with perfect spatial locality. *)
+let lbm ctx ~n =
+  let vals = 20 in
+  let src = array ctx (n * vals) 4 and dst = array ctx (n * vals) 4 in
+  fill_random ctx src (n * vals) 4;
+  for _step = 1 to 2 do
+    ctx.s.Scheme.check_range src (n * vals * 4) Read;
+    ctx.s.Scheme.check_range dst (n * vals * 4) Write;
+    for cell = 0 to n - 1 do
+      let acc = ref 0 in
+      for v = 0 to vals - 1 do
+        acc := !acc + ctx.s.Scheme.load_unchecked (idx ctx src ((cell * vals) + v) 4) 4;
+        work ctx 2
+      done;
+      for v = 0 to vals - 1 do
+        ctx.s.Scheme.store_unchecked (idx ctx dst ((cell * vals) + v) 4) 4 (!acc / vals);
+        work ctx 2
+      done
+    done;
+    Sb_libc.Simlibc.memcpy ctx.s ~dst:src ~src:dst ~len:(n * vals * 4)
+  done
+
+(** libquantum: a quantum-register simulator running Grover search —
+    see {!Spec_libquantum}. Flat amplitude array, strided butterflies
+    and linear sweeps. *)
+let libquantum ctx ~n = Spec_libquantum.run ctx ~n
+
+(** mcf: minimum-cost flow — arcs holding head/tail node pointers,
+    chased across a working set far beyond the EPC. The paper's starkest
+    ASan-vs-SGXBounds gap (2.4x vs 1%) and an MPX OOM victim. *)
+let mcf ctx ~n =
+  (* n arcs, n/4 nodes *)
+  let nnodes = max 16 (n / 4) in
+  let node_bytes = 28 and arc_bytes = 40 in
+  let nodes = array ctx nnodes 8 in
+  for i = 0 to nnodes - 1 do
+    ctx.s.Scheme.store_ptr (idx ctx nodes i 8) (ctx.s.Scheme.malloc node_bytes)
+  done;
+  let arcs = array ctx n 8 in
+  for i = 0 to n - 1 do
+    let a = ctx.s.Scheme.malloc arc_bytes in
+    ctx.s.Scheme.store a 4 (Rng.int ctx.rng 1000); (* cost *)
+    ctx.s.Scheme.store_ptr (ctx.s.Scheme.offset a 8)
+      (ctx.s.Scheme.load_ptr (idx ctx nodes (Rng.int ctx.rng nnodes) 8));
+    ctx.s.Scheme.store_ptr (ctx.s.Scheme.offset a 16)
+      (ctx.s.Scheme.load_ptr (idx ctx nodes (Rng.int ctx.rng nnodes) 8));
+    ctx.s.Scheme.store_ptr (idx ctx arcs i 8) a
+  done;
+  (* pricing passes: chase arc -> node pointers *)
+  for _pass = 1 to 2 do
+    ctx.s.Scheme.check_range arcs (n * 8) Read;
+    for i = 0 to n - 1 do
+      let a = ctx.s.Scheme.load_ptr_unchecked (idx ctx arcs i 8) in
+      let cost = ctx.s.Scheme.safe_load a 4 in
+      let tail = ctx.s.Scheme.load_ptr (ctx.s.Scheme.offset a 8) in
+      let head = ctx.s.Scheme.load_ptr (ctx.s.Scheme.offset a 16) in
+      let pt = ctx.s.Scheme.safe_load tail 4 and ph = ctx.s.Scheme.safe_load head 4 in
+      work ctx 10;
+      if cost + pt < ph then ctx.s.Scheme.safe_store head 4 (cost + pt)
+    done
+  done
+
+(** milc: lattice QCD — flat 4D lattice of small matrices, streaming
+    staple sums. *)
+let milc ctx ~n =
+  let per_site = 18 in
+  let lat = array ctx (n * per_site) 4 in
+  fill_random ctx lat (n * per_site) 4;
+  for _pass = 1 to 2 do
+    ctx.s.Scheme.check_range lat (n * per_site * 4) Write;
+    for s = 0 to n - 1 do
+      let acc = ref 0 in
+      for v = 0 to per_site - 1 do
+        acc := !acc + ctx.s.Scheme.load_unchecked (idx ctx lat ((s * per_site) + v) 4) 4;
+        work ctx 4
+      done;
+      ctx.s.Scheme.store_unchecked (idx ctx lat (s * per_site) 4) 4 !acc
+    done
+  done
+
+(** namd: molecular dynamics — force loops over atoms and an index-based
+    pair list (no pointer chasing, good locality). *)
+let namd ctx ~n =
+  let atoms = array ctx (n * 8) 4 in
+  fill_random ctx atoms (n * 8) 4;
+  let pairs_per_atom = 8 in
+  for i = 0 to n - 1 do
+    let base = idx ctx atoms (i * 8) 4 in
+    ctx.s.Scheme.check_range base 32 Write;
+    for p = 0 to pairs_per_atom - 1 do
+      let j = (i + (p * 53) + 1) mod n in
+      let f = get ctx atoms ((j * 8) + 2) 4 in
+      work ctx 18; (* 1/r^2, switching function *)
+      ctx.s.Scheme.store_unchecked base 4 (ctx.s.Scheme.load_unchecked base 4 + f)
+    done
+  done
+
+(** sjeng: alpha-beta game-tree search with a transposition table —
+    see {!Spec_sjeng}. Hot board array + big flat TT probed randomly. *)
+let sjeng ctx ~n = Spec_sjeng.run ctx ~n
+
+(** sphinx3: acoustic scoring — streaming gaussian evaluation of frames
+    against a senone table. *)
+let sphinx3 ctx ~n =
+  let senones = 512 and comp = 4 in
+  let table = array ctx (senones * comp * 2) 4 in
+  fill_random ctx table (senones * comp * 2) 4;
+  let frames = max 1 (n / senones) in
+  let feat = array ctx 16 4 in
+  for f = 0 to frames - 1 do
+    ignore f;
+    fill_random ctx feat 16 4;
+    ctx.s.Scheme.check_range table (senones * comp * 2 * 4) Read;
+    for sn = 0 to senones - 1 do
+      let score = ref 0 in
+      for c = 0 to comp - 1 do
+        let mean = ctx.s.Scheme.load_unchecked (idx ctx table ((sn * comp * 2) + c) 4) 4 in
+        let var = ctx.s.Scheme.load_unchecked (idx ctx table ((sn * comp * 2) + comp + c) 4) 4 in
+        let x = get ctx feat (c land 15) 4 in
+        score := !score + fx_mul (x - mean) (x - mean) + var;
+        work ctx 6
+      done;
+      ignore !score
+    done
+  done
+
+(** xalancbmk: XSLT processing — a DOM tree of individually allocated
+    nodes with child-pointer arrays, repeatedly traversed. Pointer-heavy
+    with many small allocations: the third MPX OOM victim. *)
+let xalancbmk ctx ~n =
+  (* n DOM nodes in a branching-factor-4 tree *)
+  let node_bytes = 72 in (* tag, attrs, 4 child pointers *)
+  let all = array ctx n 8 in
+  for i = 0 to n - 1 do
+    let nd = ctx.s.Scheme.malloc node_bytes in
+    ctx.s.Scheme.store nd 4 (i land 0xff);
+    ctx.s.Scheme.store_ptr (idx ctx all i 8) nd
+  done;
+  (* wire children: node i -> 4i+1 .. 4i+4 *)
+  for i = 0 to n - 1 do
+    let nd = ctx.s.Scheme.load_ptr (idx ctx all i 8) in
+    for c = 0 to 3 do
+      let j = (4 * i) + c + 1 in
+      if j < n then
+        ctx.s.Scheme.store_ptr
+          (ctx.s.Scheme.offset nd (8 + (c * 8)))
+          (ctx.s.Scheme.load_ptr (idx ctx all j 8))
+    done
+  done;
+  (* three template-matching traversals *)
+  for _pass = 1 to 3 do
+    let rec visit nd depth =
+      if not (is_null ctx nd) && depth < 24 then begin
+        work ctx 14; (* template match on the tag *)
+        ignore (ctx.s.Scheme.load nd 4);
+        for c = 0 to 3 do
+          visit (ctx.s.Scheme.load_ptr (ctx.s.Scheme.offset nd (8 + (c * 8)))) (depth + 1)
+        done
+      end
+    in
+    visit (ctx.s.Scheme.load_ptr all) 0
+  done

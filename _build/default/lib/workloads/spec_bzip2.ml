@@ -1,0 +1,168 @@
+(** bzip2: the real compression pipeline over simulated memory.
+
+    Stage structure of the original (Burrows-Wheeler block sorting):
+    run-length encoding, BWT (rotation sort), move-to-front, and a final
+    run-length/entropy stage. All buffers live in simulated memory and
+    every byte moves through the scheme, so the kernel keeps bzip2's
+    character: flat buffers, byte-granularity accesses, sort-dominated
+    CPU time, working set = a handful of block-sized arrays.
+
+    The BWT here is the textbook rotation sort (insertion-binary hybrid
+    with bounded comparison depth like the original's fallback sorter),
+    applied per block; [bwt_block]/[inverse_bwt] are exposed so tests can
+    prove the transform invertible. *)
+
+module Scheme = Sb_protection.Scheme
+open Sb_protection.Types
+open Wctx
+
+let block_bytes = 256
+let cmp_depth = 12
+
+(* Compare rotations [i] and [j] of the [len]-byte block at [data],
+   reading through the scheme (hoisted: the block was range-checked). *)
+let rot_cmp ctx data len i j =
+  let rec go k =
+    if k >= cmp_depth then 0
+    else begin
+      work ctx 3;
+      let a = ctx.s.Scheme.load_unchecked (idx ctx data ((i + k) mod len) 1) 1 in
+      let b = ctx.s.Scheme.load_unchecked (idx ctx data ((j + k) mod len) 1) 1 in
+      if a <> b then compare a b else go (k + 1)
+    end
+  in
+  go 0
+
+(** BWT of the [len]-byte block at [data]: fills [out] with the last
+    column and returns the index of the original rotation. [order] is a
+    scratch array of [len] 4-byte ints (the rotation index vector). *)
+let bwt_block ctx ~data ~out ~order ~len =
+  ctx.s.Scheme.check_range data len Read;
+  ctx.s.Scheme.check_range order (len * 4) Write;
+  (* initialize the rotation indices *)
+  for i = 0 to len - 1 do
+    ctx.s.Scheme.store_unchecked (idx ctx order i 4) 4 i
+  done;
+  (* insertion sort with binary probing — the original's fallback sorter
+     is similarly quadratic-ish on small blocks *)
+  for i = 1 to len - 1 do
+    let v = ctx.s.Scheme.load_unchecked (idx ctx order i 4) 4 in
+    (* binary search for the insertion point in [0, i) *)
+    let lo = ref 0 and hi = ref i in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let m = ctx.s.Scheme.load_unchecked (idx ctx order mid 4) 4 in
+      if rot_cmp ctx data len m v <= 0 then lo := mid + 1 else hi := mid
+    done;
+    (* shift and insert *)
+    for j = i downto !lo + 1 do
+      ctx.s.Scheme.store_unchecked (idx ctx order j 4) 4
+        (ctx.s.Scheme.load_unchecked (idx ctx order (j - 1) 4) 4)
+    done;
+    ctx.s.Scheme.store_unchecked (idx ctx order !lo 4) 4 v
+  done;
+  (* emit the last column; find the original rotation *)
+  ctx.s.Scheme.check_range out len Write;
+  let primary = ref 0 in
+  for i = 0 to len - 1 do
+    let rot = ctx.s.Scheme.load_unchecked (idx ctx order i 4) 4 in
+    if rot = 0 then primary := i;
+    let last = (rot + len - 1) mod len in
+    ctx.s.Scheme.store_unchecked (idx ctx out i 1)
+      1
+      (ctx.s.Scheme.load_unchecked (idx ctx data last 1) 1)
+  done;
+  !primary
+
+(** Inverse BWT (OCaml-side verification helper): reconstructs the
+    original block from the last column and the primary index. *)
+let inverse_bwt last_column primary =
+  let n = String.length last_column in
+  let counts = Array.make 256 0 in
+  String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) last_column;
+  let firsts = Array.make 256 0 in
+  let acc = ref 0 in
+  for c = 0 to 255 do
+    firsts.(c) <- !acc;
+    acc := !acc + counts.(c)
+  done;
+  (* next.(i): row of the rotation that follows row i's rotation *)
+  let seen = Array.make 256 0 in
+  let next = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = Char.code last_column.[i] in
+    next.(firsts.(c) + seen.(c)) <- i;
+    seen.(c) <- seen.(c) + 1
+  done;
+  let out = Bytes.create n in
+  let row = ref next.(primary) in
+  for i = 0 to n - 1 do
+    Bytes.set out i last_column.[!row];
+    row := next.(!row)
+  done;
+  Bytes.to_string out
+
+(* Move-to-front over the BWT output: small table, byte-at-a-time. *)
+let mtf_pass ctx ~src ~dst ~len =
+  let table = array ctx 256 1 in
+  ctx.s.Scheme.check_range table 256 Write;
+  for c = 0 to 255 do
+    ctx.s.Scheme.store_unchecked (idx ctx table c 1) 1 c
+  done;
+  ctx.s.Scheme.check_range src len Read;
+  ctx.s.Scheme.check_range dst len Write;
+  for i = 0 to len - 1 do
+    let c = ctx.s.Scheme.load_unchecked (idx ctx src i 1) 1 in
+    (* find c's position and move it to front *)
+    let pos = ref 0 in
+    while ctx.s.Scheme.load_unchecked (idx ctx table !pos 1) 1 <> c do
+      incr pos;
+      work ctx 1
+    done;
+    ctx.s.Scheme.store_unchecked (idx ctx dst i 1) 1 !pos;
+    for j = !pos downto 1 do
+      ctx.s.Scheme.store_unchecked (idx ctx table j 1) 1
+        (ctx.s.Scheme.load_unchecked (idx ctx table (j - 1) 1) 1)
+    done;
+    ctx.s.Scheme.store_unchecked (idx ctx table 0 1) 1 c
+  done;
+  ctx.s.Scheme.free table
+
+(* Final stage: run-length + frequency counting (stands in for the
+   Huffman coder's first pass). *)
+let entropy_pass ctx ~src ~len =
+  let freq = array ctx 256 4 in
+  ctx.s.Scheme.check_range src len Read;
+  ctx.s.Scheme.check_range freq 1024 Write;
+  let runs = ref 0 and prev = ref (-1) in
+  for i = 0 to len - 1 do
+    let c = ctx.s.Scheme.load_unchecked (idx ctx src i 1) 1 in
+    if c <> !prev then incr runs;
+    prev := c;
+    let f = ctx.s.Scheme.load_unchecked (idx ctx freq c 4) 4 in
+    ctx.s.Scheme.store_unchecked (idx ctx freq c 4) 4 (f + 1);
+    work ctx 3
+  done;
+  ctx.s.Scheme.free freq;
+  !runs
+
+(** The kernel: compress an [n]-byte input block-by-block. *)
+let run ctx ~n =
+  let input = array ctx n 1 in
+  (* mildly compressible input, like the reference corpus: long runs of
+     slowly-varying bytes with occasional noise — this is what makes the
+     BWT cluster and MTF emit small symbols *)
+  write_seq ctx input ~lo:0 ~hi:n ~width:1 (fun i ->
+      if i land 15 = 0 then Sb_machine.Rng.int ctx.rng 256
+      else ((i lsr 4) land 0x3f) + 0x20);
+  let out = array ctx block_bytes 1 in
+  let mtf = array ctx block_bytes 1 in
+  let order = array ctx (block_bytes * 4) 1 in
+  let blocks = n / block_bytes in
+  for b = 0 to blocks - 1 do
+    let data = idx ctx input (b * block_bytes) 1 in
+    let primary = bwt_block ctx ~data ~out ~order ~len:block_bytes in
+    ignore primary;
+    mtf_pass ctx ~src:out ~dst:mtf ~len:block_bytes;
+    ignore (entropy_pass ctx ~src:mtf ~len:block_bytes)
+  done

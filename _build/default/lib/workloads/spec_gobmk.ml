@@ -1,0 +1,122 @@
+(** gobmk: Go playouts with real capture logic over simulated memory.
+
+    Random playouts on a 9x9 board with the actual rules mechanics that
+    dominate the original's profile: group discovery by flood fill,
+    liberty counting, capture removal, and a simple suicide filter.
+    Board and flood-fill worklists are flat arrays (gobmk's access
+    character: small, hot, branchy), with heavy ALU per move.
+
+    [place]/[group_liberties] are exposed so tests can check the rules
+    (a surrounded stone is captured; a group with liberties is not). *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+let side = 9
+let cells = side * side
+
+type board = {
+  stones : ptr;      (* cells of 4 bytes: 0 empty, 1 black, 2 white *)
+  mark : ptr;        (* flood-fill visited marks *)
+  work_stack : ptr;  (* flood-fill worklist *)
+  mutable captures : int;
+}
+
+let create ctx =
+  {
+    stones = ctx.s.Scheme.calloc cells 4;
+    mark = ctx.s.Scheme.calloc cells 4;
+    work_stack = ctx.s.Scheme.calloc cells 4;
+    captures = 0;
+  }
+
+let stone ctx b i = ctx.s.Scheme.load (idx ctx b.stones i 4) 4
+let set_stone ctx b i v = ctx.s.Scheme.store (idx ctx b.stones i 4) 4 v
+
+let neighbours i =
+  let x = i mod side and y = i / side in
+  List.filter_map
+    (fun (dx, dy) ->
+       let nx = x + dx and ny = y + dy in
+       if nx < 0 || nx >= side || ny < 0 || ny >= side then None else Some ((ny * side) + nx))
+    [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+
+(* Flood-fill the group containing [i]; returns (members, liberties). *)
+let group_liberties ctx b i =
+  let colour = stone ctx b i in
+  assert (colour <> 0);
+  (* clear marks *)
+  Sb_libc.Simlibc.memset ctx.s ~dst:b.mark ~byte:0 ~len:(cells * 4);
+  let members = ref [] and libs = ref 0 in
+  let sp = ref 0 in
+  let push j =
+    ctx.s.Scheme.store (idx ctx b.work_stack !sp 4) 4 j;
+    incr sp
+  in
+  let marked j = ctx.s.Scheme.load (idx ctx b.mark j 4) 4 <> 0 in
+  let mark j v = ctx.s.Scheme.store (idx ctx b.mark j 4) 4 v in
+  push i;
+  mark i 1;
+  while !sp > 0 do
+    decr sp;
+    let j = ctx.s.Scheme.load (idx ctx b.work_stack !sp 4) 4 in
+    members := j :: !members;
+    work ctx 25;
+    List.iter
+      (fun k ->
+         if not (marked k) then begin
+           let c = stone ctx b k in
+           if c = colour then begin
+             mark k 1;
+             push k
+           end
+           else if c = 0 then begin
+             mark k 2; (* count each liberty once *)
+             incr libs
+           end
+         end)
+      (neighbours j)
+  done;
+  (!members, !libs)
+
+(** Place a stone for [colour] at [i] (must be empty): removes captured
+    opposing groups; refuses suicide. Returns whether the move stood. *)
+let place ctx b i colour =
+  if stone ctx b i <> 0 then false
+  else begin
+    set_stone ctx b i colour;
+    (* capture any adjacent enemy group left without liberties *)
+    let enemy = 3 - colour in
+    List.iter
+      (fun j ->
+         if stone ctx b j = enemy then begin
+           let members, libs = group_liberties ctx b j in
+           if libs = 0 then begin
+             List.iter (fun m -> set_stone ctx b m 0) members;
+             b.captures <- b.captures + List.length members
+           end
+         end)
+      (neighbours i);
+    (* suicide check on our own group *)
+    let _, libs = group_liberties ctx b i in
+    if libs = 0 then begin
+      set_stone ctx b i 0;
+      false
+    end
+    else true
+  end
+
+(** The kernel: [n]-scaled random playouts. *)
+let run ctx ~n =
+  let b = create ctx in
+  let playouts = max 1 (n / 256) in
+  for _p = 1 to playouts do
+    Sb_libc.Simlibc.memset ctx.s ~dst:b.stones ~byte:0 ~len:(cells * 4);
+    for mv = 0 to 80 do
+      let colour = 1 + (mv land 1) in
+      work ctx 160; (* pattern matching and move-generation heuristics *)
+      ignore (place ctx b (Rng.int ctx.rng cells) colour)
+    done
+  done

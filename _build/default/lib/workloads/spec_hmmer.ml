@@ -1,0 +1,120 @@
+(** hmmer: full profile-HMM Viterbi with traceback over simulated memory.
+
+    The dynamic program of hmmsearch: for a profile of [m] match states
+    and a sequence of [l] residues, compute the best-path score over
+    match/insert/delete states and recover the alignment by traceback.
+    The score matrix rows and the byte-wide traceback matrix live in
+    simulated memory — the original's profile exactly: dense sequential
+    DP (arithmetic-heavy, perfectly strided) plus one cold traceback
+    walk.
+
+    [viterbi] returns (score, alignment ops) so tests can check it
+    against an OCaml-side reference on small instances. *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+let neg_inf = -(1 lsl 40)
+
+(* transition penalties (log-space, negative costs) *)
+let t_mm = 0 and t_mi = -3 and t_md = -4 and t_im = -1 and t_dm = -1
+
+type model = {
+  m : int;                 (* match states *)
+  emit : ptr;              (* m x 4 emission scores (DNA alphabet) *)
+}
+
+let random_model ctx ~m =
+  let emit = array ctx (m * 4) 4 in
+  write_seq ctx emit ~lo:0 ~hi:(m * 4) ~width:4 (fun _ -> Rng.int ctx.rng 8);
+  { m; emit }
+
+let emission ctx md j res = ctx.s.Scheme.load (idx ctx md.emit ((j * 4) + res) 4) 4
+
+(* traceback ops *)
+let op_match = 1 and op_insert = 2 and op_delete = 3
+
+(** Viterbi over residues [seq] (length l, values 0..3 in sim memory).
+    Returns (best score, traceback ops from the last cell). *)
+let viterbi ctx md ~seq ~l =
+  let m = md.m in
+  let width = m + 1 in
+  (* three DP rows per sequence position would be O(l*m); keep the two
+     rolling rows for M/I/D plus a full byte traceback matrix *)
+  let row_bytes = width * 8 in
+  let mk () = (array ctx row_bytes 1, array ctx row_bytes 1) in
+  let m_prev, m_cur = mk () in
+  let i_prev, i_cur = mk () in
+  let d_prev, d_cur = mk () in
+  let tb = array ctx (l * width) 1 in   (* traceback: best predecessor *)
+  let get p j = ctx.s.Scheme.load_unchecked (idx ctx p j 8) 8 - (1 lsl 41) in
+  let set p j v = ctx.s.Scheme.store_unchecked (idx ctx p j 8) 8 (v + (1 lsl 41)) in
+  List.iter
+    (fun (p : ptr) -> ctx.s.Scheme.check_range p row_bytes Write)
+    [ m_prev; m_cur; i_prev; i_cur; d_prev; d_cur ];
+  ctx.s.Scheme.check_range tb (l * width) Write;
+  (* init row 0 *)
+  for j = 0 to m do
+    set m_prev j (if j = 0 then 0 else neg_inf);
+    set i_prev j neg_inf;
+    set d_prev j (if j = 0 then neg_inf else t_md + ((j - 1) * t_dm))
+  done;
+  let res_at i = ctx.s.Scheme.load (idx ctx seq i 1) 1 land 3 in
+  for i = 1 to l do
+    let res = res_at (i - 1) in
+    set m_cur 0 neg_inf;
+    set i_cur 0 (max (get m_prev 0 + t_mi) (get i_prev 0 + t_im));
+    set d_cur 0 neg_inf;
+    for j = 1 to m do
+      work ctx 14;
+      let e = emission ctx md (j - 1) res in
+      (* match: from M/I/D at (i-1, j-1) *)
+      let fm = get m_prev (j - 1) + t_mm in
+      let fi = get i_prev (j - 1) + t_im in
+      let fd = get d_prev (j - 1) + t_dm in
+      let best = max fm (max fi fd) in
+      set m_cur j (best + e);
+      ctx.s.Scheme.store_unchecked
+        (idx ctx tb (((i - 1) * width) + j) 1)
+        1
+        (if best = fm then op_match else if best = fi then op_insert else op_delete);
+      (* insert: stay in column j, consume a residue *)
+      set i_cur j (max (get m_prev j + t_mi) (get i_prev j + t_im));
+      (* delete: skip a profile column *)
+      set d_cur j (max (get m_cur (j - 1) + t_md) (get d_cur (j - 1) + t_dm))
+    done;
+    (* roll rows *)
+    for j = 0 to m do
+      set m_prev j (get m_cur j);
+      set i_prev j (get i_cur j);
+      set d_prev j (get d_cur j)
+    done
+  done;
+  let score = get m_prev m in
+  (* traceback walk: cold strided reads through the byte matrix *)
+  let ops = ref [] in
+  let i = ref l and j = ref m in
+  while !i > 0 && !j > 0 do
+    let op = ctx.s.Scheme.load (idx ctx tb (((!i - 1) * width) + !j) 1) 1 in
+    ops := op :: !ops;
+    (match op with
+     | o when o = op_match -> decr i; decr j
+     | o when o = op_insert -> decr i
+     | _ -> decr j);
+    work ctx 3
+  done;
+  (score, !ops)
+
+(** The kernel: score [n]-scaled sequences against one profile. *)
+let run ctx ~n =
+  let m = 128 in
+  let md = random_model ctx ~m in
+  let l = 256 in
+  let seq = array ctx l 1 in
+  let passes = max 1 (n / (l * m / 64)) in
+  for _p = 1 to min passes 8 do
+    fill_random ctx seq l 1;
+    ignore (viterbi ctx md ~seq ~l)
+  done

@@ -1,0 +1,113 @@
+(** libquantum: a quantum-register simulator running Grover's search,
+    over simulated memory.
+
+    The register holds 2^qubits amplitudes as 16.16 fixed-point pairs
+    (re, im) in one flat array. Gates are the strided passes that give
+    the original its access character: Hadamard on qubit k touches
+    amplitude pairs 2^k apart; the oracle and diffusion operators are
+    linear sweeps. Grover's iteration count is the textbook
+    floor(pi/4 * sqrt N), after which the marked state dominates —
+    which the tests verify. *)
+
+module Scheme = Sb_protection.Scheme
+open Sb_protection.Types
+open Wctx
+
+type reg = {
+  qubits : int;
+  n : int;            (* 2^qubits *)
+  amps : ptr;         (* n pairs of (re, im), 4 bytes each *)
+}
+
+let re_off i = i * 8
+let im_off i = (i * 8) + 4
+
+let get_re ctx r i =
+  let v = ctx.s.Scheme.load_unchecked (ctx.s.Scheme.offset r.amps (re_off i)) 4 in
+  (v lxor 0x80000000) - 0x80000000 (* sign-extend 32-bit *)
+
+let set_re ctx r i v =
+  ctx.s.Scheme.store_unchecked (ctx.s.Scheme.offset r.amps (re_off i)) 4 (v land 0xFFFFFFFF)
+
+let create ctx ~qubits =
+  let n = 1 lsl qubits in
+  let r = { qubits; n; amps = ctx.s.Scheme.calloc n 8 } in
+  ctx.s.Scheme.check_range r.amps (n * 8) Write;
+  (* |0...0> *)
+  set_re ctx r 0 (fx 1);
+  r
+
+(* Hadamard on qubit k: the strided butterfly pass. 1/sqrt2 in 16.16. *)
+let inv_sqrt2 = 46341
+
+let hadamard ctx r k =
+  let stride = 1 lsl k in
+  ctx.s.Scheme.check_range r.amps (r.n * 8) Write;
+  let i = ref 0 in
+  while !i < r.n do
+    if !i land stride = 0 then begin
+      let a = get_re ctx r !i and b = get_re ctx r (!i + stride) in
+      work ctx 8;
+      set_re ctx r !i (fx_mul inv_sqrt2 (a + b));
+      set_re ctx r (!i + stride) (fx_mul inv_sqrt2 (a - b))
+    end;
+    incr i
+  done
+
+(* Oracle: flip the sign of the marked state's amplitude. *)
+let oracle ctx r marked =
+  let v = get_re ctx r marked in
+  work ctx 4;
+  set_re ctx r marked (-v)
+
+(* Diffusion (inversion about the mean): one sweep to compute the mean,
+   one to reflect. *)
+let diffusion ctx r =
+  ctx.s.Scheme.check_range r.amps (r.n * 8) Write;
+  let sum = ref 0 in
+  for i = 0 to r.n - 1 do
+    sum := !sum + get_re ctx r i;
+    work ctx 2
+  done;
+  let mean = !sum / r.n in
+  for i = 0 to r.n - 1 do
+    let v = get_re ctx r i in
+    set_re ctx r i ((2 * mean) - v);
+    work ctx 3
+  done
+
+(** Run Grover's search for [marked]; returns the index with the largest
+    probability afterwards. *)
+let grover ctx r ~marked =
+  (* uniform superposition *)
+  for k = 0 to r.qubits - 1 do
+    hadamard ctx r k
+  done;
+  let iters =
+    int_of_float (Float.pi /. 4.0 *. sqrt (float_of_int r.n)) |> max 1
+  in
+  for _ = 1 to iters do
+    oracle ctx r marked;
+    diffusion ctx r
+  done;
+  (* measurement: argmax |amp|^2 *)
+  let best = ref 0 and bestv = ref 0 in
+  for i = 0 to r.n - 1 do
+    let v = abs (get_re ctx r i) in
+    if v > !bestv then begin
+      bestv := v;
+      best := i
+    end
+  done;
+  !best
+
+(** The kernel: [n] scales the register size and repetitions. *)
+let run ctx ~n =
+  let qubits = Sb_machine.Util.clamp (Sb_machine.Util.log2_floor (max 64 (n / 32))) 6 12 in
+  let reps = 2 in
+  for rep = 1 to reps do
+    let r = create ctx ~qubits in
+    let marked = (rep * 2654435761) land (r.n - 1) in
+    ignore (grover ctx r ~marked);
+    ctx.s.Scheme.free r.amps
+  done

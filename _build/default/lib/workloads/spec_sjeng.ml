@@ -1,0 +1,197 @@
+(** sjeng: game-tree search with alpha-beta pruning and a transposition
+    table, over simulated memory.
+
+    The game is a deterministic zero-sum "territory" game on a small
+    board (players alternately claim cells; a claimed cell scores its
+    value plus a bonus for adjacent friendly cells), which gives the
+    search the branchy, evaluation-heavy, TT-probing profile of the
+    original chess engine: a hot board array, a large flat transposition
+    table probed pseudo-randomly, and lots of ALU per node.
+
+    [alphabeta] and [minimax] are exposed so tests can prove the pruning
+    sound (identical values). *)
+
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+open Wctx
+
+type game = {
+  side : int;            (* board side length *)
+  board : ptr;           (* side*side cells: 0 empty, 1/2 claimed *)
+  values : ptr;          (* per-cell score values *)
+  tt : ptr;              (* transposition table: entries of 16 bytes *)
+  tt_entries : int;
+  mutable nodes : int;
+  mutable tt_hits : int;
+}
+
+let cells g = g.side * g.side
+
+let create ctx ~side ~tt_entries =
+  let g =
+    {
+      side;
+      board = ctx.s.Scheme.calloc (side * side) 4;
+      values = array ctx (side * side) 4;
+      tt = ctx.s.Scheme.calloc (tt_entries * 2) 8;
+      tt_entries;
+      nodes = 0;
+      tt_hits = 0;
+    }
+  in
+  write_seq ctx g.values ~lo:0 ~hi:(side * side) ~width:4 (fun _ -> 1 + Rng.int ctx.rng 9);
+  g
+
+let cell ctx g i = ctx.s.Scheme.load (idx ctx g.board i 4) 4
+let set_cell ctx g i v = ctx.s.Scheme.store (idx ctx g.board i 4) 4 v
+let value ctx g i = ctx.s.Scheme.load (idx ctx g.values i 4) 4
+
+let neighbours g i =
+  let x = i mod g.side and y = i / g.side in
+  List.filter_map
+    (fun (dx, dy) ->
+       let nx = x + dx and ny = y + dy in
+       if nx < 0 || nx >= g.side || ny < 0 || ny >= g.side then None
+       else Some ((ny * g.side) + nx))
+    [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+
+(* Score of claiming cell [i] for [player]: cell value + connectivity. *)
+let move_score ctx g i player =
+  work ctx 12;
+  let bonus =
+    List.fold_left
+      (fun acc j -> if cell ctx g j = player then acc + 2 else acc)
+      0 (neighbours g i)
+  in
+  value ctx g i + bonus
+
+(* Zobrist-ish incremental hash of the position. *)
+let position_hash ctx g =
+  let h = ref 0 in
+  ctx.s.Scheme.check_range g.board (cells g * 4) Read;
+  for i = 0 to cells g - 1 do
+    let c = ctx.s.Scheme.load_unchecked (idx ctx g.board i 4) 4 in
+    if c <> 0 then h := !h lxor ((i + 1) * 0x9E3779B9 * c);
+    work ctx 2
+  done;
+  !h land max_int
+
+let tt_probe ctx g hash depth =
+  let slot = hash land (g.tt_entries - 1) in
+  let key = ctx.s.Scheme.load (idx ctx g.tt (slot * 2) 8) 8 in
+  let data = ctx.s.Scheme.load (idx ctx g.tt ((slot * 2) + 1) 8) 8 in
+  if key = hash land 0xFFFFFFFF && data land 0xFF = depth then begin
+    g.tt_hits <- g.tt_hits + 1;
+    Some ((data asr 8) - (1 lsl 30))
+  end
+  else None
+
+let tt_store ctx g hash depth score =
+  let slot = hash land (g.tt_entries - 1) in
+  ctx.s.Scheme.store (idx ctx g.tt (slot * 2) 8) 8 (hash land 0xFFFFFFFF);
+  ctx.s.Scheme.store (idx ctx g.tt ((slot * 2) + 1) 8) 8
+    (((score + (1 lsl 30)) lsl 8) lor depth)
+
+(* Score differential search: player 1 maximizes, player 2 minimizes.
+   [moves] limits branching like sjeng's move ordering window. *)
+let rec alphabeta ?(use_tt = true) ctx g ~depth ~alpha ~beta ~player =
+  g.nodes <- g.nodes + 1;
+  if depth = 0 then 0
+  else begin
+    let hash = if use_tt then position_hash ctx g else 0 in
+    match if use_tt then tt_probe ctx g hash depth else None with
+    | Some v -> v
+    | None ->
+      (* candidate moves: first [branch] empty cells *)
+      let branch = 5 in
+      let moves = ref [] in
+      let i = ref 0 in
+      while List.length !moves < branch && !i < cells g do
+        if cell ctx g !i = 0 then moves := !i :: !moves;
+        incr i
+      done;
+      let best = ref (if player = 1 then min_int else max_int) in
+      if !moves = [] then best := 0
+      else begin
+        let a = ref alpha and b = ref beta in
+        (* the child's window must be expressed in the child's frame:
+           total = s + sub (max node) or sub - s (min node), so shift the
+           bounds by the incremental move score, saturating at infinity *)
+        let shift w d =
+          if w <= -(1 lsl 50) || w >= 1 lsl 50 then w else w + d
+        in
+        (try
+           List.iter
+             (fun m ->
+                let s = move_score ctx g m player in
+                set_cell ctx g m player;
+                let sub =
+                  if player = 1 then
+                    alphabeta ~use_tt ctx g ~depth:(depth - 1)
+                      ~alpha:(shift !a (-s)) ~beta:(shift !b (-s))
+                      ~player:2
+                  else
+                    alphabeta ~use_tt ctx g ~depth:(depth - 1)
+                      ~alpha:(shift !a s) ~beta:(shift !b s)
+                      ~player:1
+                in
+                set_cell ctx g m 0;
+                let v = if player = 1 then s + sub else sub - s in
+                if player = 1 then begin
+                  if v > !best then best := v;
+                  if !best > !a then a := !best;
+                  if !a >= !b then raise Exit
+                end
+                else begin
+                  if v < !best then best := v;
+                  if !best < !b then b := !best;
+                  if !a >= !b then raise Exit
+                end)
+             (List.rev !moves)
+         with Exit -> ())
+      end;
+      if use_tt then tt_store ctx g hash depth !best;
+      !best
+  end
+
+(* Plain minimax (no pruning, no TT): the reference for soundness tests. *)
+let rec minimax ctx g ~depth ~player =
+  if depth = 0 then 0
+  else begin
+    let branch = 5 in
+    let moves = ref [] in
+    let i = ref 0 in
+    while List.length !moves < branch && !i < cells g do
+      if cell ctx g !i = 0 then moves := !i :: !moves;
+      incr i
+    done;
+    if !moves = [] then 0
+    else
+      let vals =
+        List.map
+          (fun m ->
+             let s = move_score ctx g m player in
+             set_cell ctx g m player;
+             let sub = minimax ctx g ~depth:(depth - 1) ~player:(3 - player) in
+             set_cell ctx g m 0;
+             if player = 1 then s + sub else sub - s)
+          (List.rev !moves)
+      in
+      if player = 1 then List.fold_left max min_int vals
+      else List.fold_left min max_int vals
+  end
+
+(** The kernel: repeated root searches from random positions; [n] scales
+    the transposition table and the number of searches. *)
+let run ctx ~n =
+  let tt_entries = Sb_machine.Util.next_pow2 (max 1024 n) in
+  let g = create ctx ~side:8 ~tt_entries in
+  let searches = max 1 (n / 4096) in
+  for _s = 1 to searches do
+    (* scatter a few stones and search *)
+    for _ = 1 to 6 do
+      set_cell ctx g (Rng.int ctx.rng (cells g)) (1 + Rng.int ctx.rng 2)
+    done;
+    ignore (alphabeta ctx g ~depth:4 ~alpha:min_int ~beta:max_int ~player:1)
+  done

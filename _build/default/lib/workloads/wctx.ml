@@ -1,0 +1,94 @@
+(** Workload execution context and loop helpers.
+
+    Kernels perform every memory operation through the scheme, so they
+    are "compiled" with the scheme's instrumentation. The loop helpers
+    encode the two §4.4-optimizable patterns:
+
+    - [for_range]: a simple positive-stride loop — one hoisted range
+      check, then per-iteration accesses through the unchecked accessors
+      (which stay checked when the scheme cannot hoist);
+    - [safe_*]: accesses at compiler-provably-safe offsets (fixed struct
+      fields, constant indices).
+
+    [work] charges plain ALU cycles: the arithmetic a real kernel would
+    retire between memory operations. Without it every workload would be
+    a pure memory stress test and instrumentation overheads would be
+    wildly exaggerated relative to the paper. *)
+
+module Memsys = Sb_sgx.Memsys
+module Scheme = Sb_protection.Scheme
+module Rng = Sb_machine.Rng
+open Sb_protection.Types
+
+type t = {
+  s : Scheme.t;
+  ms : Memsys.t;
+  rng : Rng.t;
+  threads : int;
+}
+
+let make ?(seed = 42) ?(threads = 1) (s : Scheme.t) =
+  { s; ms = s.Scheme.ms; rng = Rng.create seed; threads }
+
+(** Charge [n] ALU instructions of kernel arithmetic. *)
+let work ctx n = Memsys.charge_alu ctx.ms n
+
+(** Allocate an array of [n] elements of [width] bytes. *)
+let array ctx n width = ctx.s.Scheme.malloc (n * width)
+
+(** Element pointer at index [i]. *)
+let idx ctx p i width = ctx.s.Scheme.offset p (i * width)
+
+(** Checked element load/store (per-access check; for irregular indices). *)
+let get ctx p i width = ctx.s.Scheme.load (idx ctx p i width) width
+let set ctx p i width v = ctx.s.Scheme.store (idx ctx p i width) width v
+
+(** Hoistable sequential loop over elements [lo, hi) of array [p]:
+    performs the scheme's range check once, then unchecked accesses.
+    [f] receives the element index and an accessor pair. *)
+let for_range ctx p ~lo ~hi ~width ~access f =
+  if hi > lo then begin
+    let base = ctx.s.Scheme.offset p (lo * width) in
+    ctx.s.Scheme.check_range base ((hi - lo) * width) access;
+    for i = lo to hi - 1 do
+      f i (ctx.s.Scheme.offset p (i * width))
+    done
+  end
+
+(** Sequential read loop with hoisted check. *)
+let read_seq ctx p ~lo ~hi ~width f =
+  for_range ctx p ~lo ~hi ~width ~access:Read (fun i ep ->
+      f i (ctx.s.Scheme.load_unchecked ep width))
+
+(** Sequential write loop with hoisted check. *)
+let write_seq ctx p ~lo ~hi ~width f =
+  for_range ctx p ~lo ~hi ~width ~access:Write (fun i ep ->
+      ctx.s.Scheme.store_unchecked ep width (f i))
+
+(** Parallel partition of [0, n) over the context's threads. [f] is
+    called with (thread id, lo, hi). Runs inline when threads = 1. *)
+let parallel ctx n f =
+  if ctx.threads <= 1 then f 0 0 n
+  else begin
+    let chunk = (n + ctx.threads - 1) / ctx.threads in
+    let thunks =
+      Array.init ctx.threads (fun t ->
+          let lo = t * chunk in
+          let hi = min n (lo + chunk) in
+          fun () -> if lo < hi then f t lo hi)
+    in
+    Sb_mt.Mt.run ctx.ms thunks
+  end
+
+(** Fill an array with deterministic pseudo-random bytes/ints. *)
+let fill_random ctx p n width =
+  write_seq ctx p ~lo:0 ~hi:n ~width (fun _ ->
+      Sb_machine.Rng.int ctx.rng (1 lsl (8 * min width 3)))
+
+(** Null test for a pointer value loaded from memory. *)
+let is_null ctx p = ctx.s.Scheme.addr_of p = 0
+
+(** Fixed-point helpers: kernels model floating point with 16.16 ints. *)
+let fx v = v * 65536
+let fx_mul a b = a * b / 65536
+let fx_div a b = if b = 0 then 0 else a * 65536 / b

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest QCheck_alcotest Sb_asan Sb_baggy Sb_machine Sb_mpx Sb_protection Sb_sgx Sb_vmem Sgxbounds

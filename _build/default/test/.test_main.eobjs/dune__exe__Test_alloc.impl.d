@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Gen Helpers List QCheck Sb_alloc Sb_machine Sb_sgx Sb_vmem

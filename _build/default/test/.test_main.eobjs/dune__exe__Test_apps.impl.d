@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Hashtbl Helpers List Printf QCheck Sb_apps Sb_machine Sb_protection Sb_sgx Sb_vmem Sb_workloads String

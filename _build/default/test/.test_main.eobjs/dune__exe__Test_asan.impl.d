@@ -1,0 +1,1 @@
+test/test_asan.ml: Alcotest Helpers Memsys QCheck Sb_asan Sb_machine Sb_protection Sb_vmem Scheme

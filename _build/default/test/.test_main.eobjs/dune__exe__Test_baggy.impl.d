@@ -1,0 +1,1 @@
+test/test_baggy.ml: Alcotest Helpers QCheck Sb_machine Sb_protection Scheme

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gen Helpers List QCheck Sb_cache

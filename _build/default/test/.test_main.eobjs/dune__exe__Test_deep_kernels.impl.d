@@ -1,0 +1,1 @@
+test/test_deep_kernels.ml: Alcotest Helpers List Memsys Printf Sb_protection Sb_vmem Sb_workloads String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Helpers List QCheck Sb_libc Sb_protection

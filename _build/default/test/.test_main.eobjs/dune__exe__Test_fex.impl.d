@@ -1,0 +1,1 @@
+test/test_fex.ml: Alcotest Filename List Sb_fex Sb_harness Sb_machine String Sys

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Sb_harness Sb_machine Sb_protection Sb_sgx Sb_workloads

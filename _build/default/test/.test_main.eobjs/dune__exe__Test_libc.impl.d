@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Char Helpers List QCheck Sb_libc Scheme String

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Helpers List Memsys Sb_sgx Sb_vmem

@@ -1,0 +1,1 @@
+test/test_mpx.ml: Alcotest Helpers QCheck Sb_machine Sb_mt Sb_protection Sb_sgx Sb_vmem Scheme

@@ -1,0 +1,1 @@
+test/test_mt.ml: Alcotest Array Buffer Fun Helpers List Sb_machine Sb_mt Sb_sgx Sb_vmem String

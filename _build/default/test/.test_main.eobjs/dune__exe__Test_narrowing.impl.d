@@ -1,0 +1,1 @@
+test/test_narrowing.ml: Alcotest Helpers Memsys QCheck Sb_protection Sgxbounds

@@ -1,0 +1,1 @@
+test/test_ripe.ml: Alcotest Helpers List Sb_ripe

@@ -1,0 +1,1 @@
+test/test_scone.ml: Alcotest Gen Helpers List QCheck Sb_libc Sb_machine Sb_protection Sb_scone Sb_sgx Sb_vmem String

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Helpers Memsys Sb_machine Sb_sgx Sb_vmem

@@ -1,0 +1,1 @@
+test/test_sgxbounds.ml: Alcotest Helpers Memsys QCheck Sb_protection Sb_vmem Scheme Sgxbounds

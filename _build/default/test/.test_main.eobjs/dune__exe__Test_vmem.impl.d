@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Gen Helpers List Printf QCheck Sb_machine Sb_vmem String

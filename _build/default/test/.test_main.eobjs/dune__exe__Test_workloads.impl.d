@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers List Sb_protection Sb_sgx Sb_workloads

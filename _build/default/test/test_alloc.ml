@@ -1,0 +1,199 @@
+open Helpers
+module Freelist = Sb_alloc.Freelist
+module Buddy = Sb_alloc.Buddy
+module Bump = Sb_alloc.Bump
+module Stackmem = Sb_alloc.Stackmem
+module Util = Sb_machine.Util
+
+let with_heap f =
+  let m = ms () in
+  f m (Freelist.create m)
+
+let test_alloc_aligned () =
+  with_heap (fun _ h ->
+      for size = 1 to 64 do
+        let a = Freelist.alloc h size in
+        Alcotest.(check int) "16-aligned" 0 (a mod 16)
+      done)
+
+let test_chunk_size_rounding () =
+  with_heap (fun _ h ->
+      let a = Freelist.alloc h 17 in
+      Alcotest.(check int) "rounded to 32" 32 (Freelist.chunk_size h a);
+      let b = Freelist.alloc h 600 in
+      Alcotest.(check int) "rounded to 256B granule" 768 (Freelist.chunk_size h b))
+
+let test_free_then_reuse () =
+  with_heap (fun _ h ->
+      let a = Freelist.alloc h 100 in
+      Freelist.free h a;
+      let b = Freelist.alloc h 100 in
+      Alcotest.(check int) "exact-fit reuse" a b)
+
+let test_double_free_rejected () =
+  with_heap (fun _ h ->
+      let a = Freelist.alloc h 100 in
+      Freelist.free h a;
+      match Freelist.free h a with
+      | () -> Alcotest.fail "expected rejection"
+      | exception Invalid_argument _ -> ())
+
+let test_live_accounting () =
+  with_heap (fun _ h ->
+      let a = Freelist.alloc h 64 in
+      let _b = Freelist.alloc h 64 in
+      Alcotest.(check int) "two live" 2 (Freelist.live_chunks h);
+      Alcotest.(check int) "bytes" 128 (Freelist.live_bytes h);
+      Freelist.free h a;
+      Alcotest.(check int) "one live" 1 (Freelist.live_chunks h))
+
+let test_adjacency_of_fresh_allocs () =
+  with_heap (fun _ h ->
+      (* Fresh (bump) allocations are adjacent — heap overflows reach the
+         next object, which the attack suites rely on. *)
+      let a = Freelist.alloc h 32 in
+      let b = Freelist.alloc h 32 in
+      Alcotest.(check int) "header-separated neighbours" (a + 32 + 16) b)
+
+let test_churn_footprint_bounded () =
+  with_heap (fun m h ->
+      (* Allocate/free in a loop: footprint must stay ~flat thanks to
+         reuse (this is what ASan's quarantine deliberately breaks). *)
+      for _ = 1 to 10_000 do
+        let a = Freelist.alloc h 48 in
+        Freelist.free h a
+      done;
+      let vm = Sb_sgx.Memsys.vmem m in
+      Alcotest.(check bool) "footprint stays small" true
+        (Sb_vmem.Vmem.peak_reserved_bytes vm < 256 * 1024))
+
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live chunks never overlap" ~count:30
+    QCheck.(list_of_size Gen.(int_range 10 60) (int_range 1 300))
+    (fun sizes ->
+       with_heap (fun _ h ->
+           let ranges =
+             List.map
+               (fun s ->
+                  let a = Freelist.alloc h s in
+                  (a, a + Freelist.chunk_size h a))
+               sizes
+           in
+           let sorted = List.sort compare ranges in
+           let rec ok = function
+             | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && ok rest
+             | _ -> true
+           in
+           ok sorted))
+
+let prop_freelist_reuse_is_lifo_consistent =
+  QCheck.Test.make ~name:"alloc after frees returns a freed or fresh chunk" ~count:30
+    QCheck.(int_range 1 200)
+    (fun size ->
+       with_heap (fun _ h ->
+           let a = Freelist.alloc h size in
+           let b = Freelist.alloc h size in
+           Freelist.free h a;
+           Freelist.free h b;
+           let c = Freelist.alloc h size in
+           c = a || c = b))
+
+(* --- buddy --- *)
+
+let with_buddy f =
+  let m = ms () in
+  f m (Buddy.create m ~region_bytes:(1 lsl 20))
+
+let test_buddy_pow2_sizes () =
+  with_buddy (fun _ b ->
+      let a = Buddy.alloc b 100 in
+      Alcotest.(check int) "rounded to 128" 128 (Buddy.block_size b a);
+      Alcotest.(check int) "aligned to own size" 0 (a mod 128))
+
+let test_buddy_base_of () =
+  with_buddy (fun _ b ->
+      let a = Buddy.alloc b 100 in
+      Alcotest.(check (option int)) "interior derives base" (Some a) (Buddy.base_of b (a + 77));
+      Alcotest.(check (option int)) "free space has no base" None (Buddy.base_of b (a + 1000)))
+
+let test_buddy_merge () =
+  with_buddy (fun _ b ->
+      let a1 = Buddy.alloc b 16 in
+      let a2 = Buddy.alloc b 16 in
+      Buddy.free b a1;
+      Buddy.free b a2;
+      (* After merging, a 32-byte block is available at the same base. *)
+      let big = Buddy.alloc b 32 in
+      Alcotest.(check int) "merged block reused" (min a1 a2) big)
+
+let test_buddy_exhaustion () =
+  with_buddy (fun _ b ->
+      match
+        for _ = 1 to 3000 do
+          ignore (Buddy.alloc b 1024)
+        done
+      with
+      | () -> Alcotest.fail "expected exhaustion"
+      | exception Sb_vmem.Vmem.Enclave_oom _ -> ())
+
+let prop_buddy_alignment =
+  QCheck.Test.make ~name:"buddy blocks size-aligned" ~count:100
+    QCheck.(int_range 1 5000)
+    (fun size ->
+       with_buddy (fun _ b ->
+           let a = Buddy.alloc b size in
+           let s = Buddy.block_size b a in
+           Util.is_pow2 s && s >= size && a mod s = 0))
+
+(* --- bump and stack --- *)
+
+let test_bump_monotonic () =
+  let m = ms () in
+  let g = Bump.create m () in
+  let a = Bump.alloc g 100 in
+  let b = Bump.alloc g 100 in
+  Alcotest.(check bool) "monotonic" true (b > a);
+  Alcotest.(check int) "used" 200 (Bump.used_bytes g)
+
+let test_stack_grows_down () =
+  let m = ms () in
+  let s = Stackmem.create m ~size:65536 in
+  let f = Stackmem.push_frame s in
+  let a = Stackmem.alloc s 64 in
+  let b = Stackmem.alloc s 64 in
+  Alcotest.(check bool) "second local below first" true (b < a);
+  Stackmem.pop_frame s f;
+  Alcotest.(check int) "sp restored" f (Stackmem.sp s)
+
+let test_stack_overflow () =
+  let m = ms () in
+  let s = Stackmem.create m ~size:4096 in
+  (match
+     let _ = Stackmem.push_frame s in
+     for _ = 1 to 100 do
+       ignore (Stackmem.alloc s 128)
+     done
+   with
+   | () -> Alcotest.fail "expected stack overflow"
+   | exception Failure _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "payloads 16-byte aligned" `Quick test_alloc_aligned;
+    Alcotest.test_case "size-class rounding" `Quick test_chunk_size_rounding;
+    Alcotest.test_case "free then exact-fit reuse" `Quick test_free_then_reuse;
+    Alcotest.test_case "double free rejected" `Quick test_double_free_rejected;
+    Alcotest.test_case "live accounting" `Quick test_live_accounting;
+    Alcotest.test_case "fresh allocations adjacent" `Quick test_adjacency_of_fresh_allocs;
+    Alcotest.test_case "churn keeps footprint flat" `Quick test_churn_footprint_bounded;
+    qtest prop_no_overlap;
+    qtest prop_freelist_reuse_is_lifo_consistent;
+    Alcotest.test_case "buddy: power-of-two size-aligned blocks" `Quick test_buddy_pow2_sizes;
+    Alcotest.test_case "buddy: base derivation" `Quick test_buddy_base_of;
+    Alcotest.test_case "buddy: merge on free" `Quick test_buddy_merge;
+    Alcotest.test_case "buddy: exhaustion raises" `Quick test_buddy_exhaustion;
+    qtest prop_buddy_alignment;
+    Alcotest.test_case "bump region monotonic" `Quick test_bump_monotonic;
+    Alcotest.test_case "stack grows down, pop restores" `Quick test_stack_grows_down;
+    Alcotest.test_case "stack overflow detected" `Quick test_stack_overflow;
+  ]

@@ -1,0 +1,343 @@
+open Helpers
+module Sqlite = Sb_apps.Sqlite_sim
+module Memcached = Sb_apps.Memcached_sim
+module Http = Sb_apps.Http_sim
+module Wctx = Sb_workloads.Wctx
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+
+let ctx_of maker =
+  let m = ms () in
+  Wctx.make (maker m)
+
+(* ---------- sqlite ---------- *)
+
+let test_sqlite_insert_select () =
+  List.iter
+    (fun (name, maker) ->
+       let ctx = ctx_of maker in
+       let t = Sqlite.create ctx in
+       for k = 0 to 499 do
+         Sqlite.insert_row t (k * 7)
+       done;
+       for k = 0 to 499 do
+         if not (Sqlite.select t (k * 7)) then
+           Alcotest.failf "%s: key %d not found" name (k * 7)
+       done;
+       Alcotest.(check bool) (name ^ ": absent key") false (Sqlite.select t 999999))
+    [ ("native", native); ("sgxbounds", sgxb); ("asan", asan) ]
+
+let test_sqlite_update () =
+  let ctx = ctx_of sgxb in
+  let t = Sqlite.create ctx in
+  for k = 0 to 99 do
+    Sqlite.insert_row t k
+  done;
+  for k = 0 to 99 do
+    Alcotest.(check bool) "update hits" true (Sqlite.update t k)
+  done
+
+let test_sqlite_duplicate_keys_overwrite () =
+  let ctx = ctx_of sgxb in
+  let t = Sqlite.create ctx in
+  Sqlite.insert_row t 42;
+  Sqlite.insert_row t 42;
+  Alcotest.(check bool) "still found once" true (Sqlite.select t 42)
+
+let test_speedtest_runs_under_all_protections () =
+  List.iter
+    (fun (name, maker) ->
+       let ctx = ctx_of maker in
+       match Sqlite.speedtest ctx ~items:200 with
+       | () -> ()
+       | exception Sb_protection.Types.Violation v ->
+         Alcotest.failf "%s: false positive: %a" name Sb_protection.Types.pp_violation v)
+    [ ("native", native); ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ]
+
+let test_sqlite_is_pointer_intensive_for_mpx () =
+  let bts items =
+    let m = ms () in
+    let s = mpx m in
+    let ctx = Wctx.make s in
+    (match Sqlite.speedtest ctx ~items with
+     | () -> ()
+     | exception Sb_protection.Types.App_crash _ -> ());
+    s.Sb_protection.Scheme.extras.Sb_protection.Types.bts_allocated
+  in
+  let small = bts 300 and big = bts 4000 in
+  Alcotest.(check bool) "tables appear" true (small >= 1);
+  Alcotest.(check bool) "tables grow with the working set" true (big > small + 2)
+
+(* ---------- memcached ---------- *)
+
+let test_memcached_get_set () =
+  List.iter
+    (fun (_name, maker) ->
+       let ctx = ctx_of maker in
+       let t = Memcached.create ~nbuckets:256 ctx in
+       Memcached.set_kv t 7 100;
+       Memcached.set_kv t 8 200;
+       Alcotest.(check bool) "key 7" true (Memcached.get t 7);
+       Alcotest.(check bool) "key 8" true (Memcached.get t 8);
+       Alcotest.(check bool) "absent" false (Memcached.get t 12345))
+    [ ("native", native); ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ]
+
+let test_memaslap_runs () =
+  let ctx = ctx_of sgxb in
+  let t = Memcached.create ctx in
+  let elapsed, ops = Memcached.memaslap t ~keys:200 ~ops:1000 in
+  Alcotest.(check int) "ops" 1000 ops;
+  Alcotest.(check bool) "time advanced" true (elapsed > 0)
+
+let test_cve_2011_4971 () =
+  (* benign packet fine everywhere *)
+  let benign maker =
+    let ctx = ctx_of maker in
+    Memcached.handle_binary_packet (Memcached.create ctx) ~body_len:256
+  in
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check bool) (name ^ ": benign processed") true
+         (benign maker = Memcached.Processed))
+    [ ("native", native); ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ];
+  (* the attack packet: negative body length *)
+  let attack maker =
+    let ctx = ctx_of maker in
+    Memcached.handle_binary_packet (Memcached.create ctx) ~body_len:(-1024)
+  in
+  Alcotest.(check bool) "native: DoS (corruption or segfault)" true
+    (match attack native with
+     | Memcached.Corrupted | Memcached.Crashed_segfault -> true
+     | _ -> false);
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check bool) (name ^ ": detected and dropped") true
+         (attack maker = Memcached.Detected_dropped))
+    [ ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ]
+
+(* ---------- http servers ---------- *)
+
+let test_http_benches_run () =
+  let ctx = ctx_of sgxb in
+  let cyc, n = Http.apache_bench ctx ~clients:4 ~requests:40 in
+  Alcotest.(check bool) "apache time" true (cyc > 0 && n >= 40);
+  let ctx = ctx_of sgxb in
+  let cyc, n = Http.nginx_bench ctx ~requests:32 in
+  Alcotest.(check bool) "nginx time" true (cyc > 0 && n = 32)
+
+let test_sgx_send_copy_costs () =
+  (* the SCONE double copy: inside-enclave nginx pays more per request *)
+  let run env =
+    let m = Memsys.create (Config.default ~env ()) in
+    let ctx = Wctx.make (Sb_protection.Native.make m) in
+    fst (Http.nginx_bench ctx ~requests:64)
+  in
+  Alcotest.(check bool) "inside > outside" true
+    (run Config.Inside_enclave > run Config.Outside_enclave)
+
+let test_heartbleed () =
+  let run maker =
+    let ctx = ctx_of maker in
+    Http.heartbeat ctx ~claimed_len:256
+  in
+  (match run native with
+   | Http.Leaked _ -> ()
+   | _ -> Alcotest.fail "native must leak the secret");
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check bool) (name ^ ": detected") true (run maker = Http.Detected))
+    [ ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ];
+  (match run sgxb_boundless with
+   | Http.Contained_zeros -> ()
+   | Http.Leaked _ -> Alcotest.fail "boundless must not leak"
+   | _ -> Alcotest.fail "boundless must answer with zeros")
+
+let test_heartbleed_benign () =
+  List.iter
+    (fun (name, maker) ->
+       let ctx = ctx_of maker in
+       Alcotest.(check bool) (name ^ ": benign heartbeat fine") true
+         (Http.heartbeat ctx ~claimed_len:16 = Http.Harmless))
+    [ ("native", native); ("sgxbounds", sgxb); ("asan", asan) ]
+
+let test_cve_2013_2028 () =
+  let attack maker =
+    let ctx = ctx_of maker in
+    Http.chunked_request ctx ~chunk_size:0xFFFFF000
+  in
+  Alcotest.(check bool) "native: stack smashed" true (attack native = Http.Corrupted);
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check bool) (name ^ ": detected") true (attack maker = Http.Detected))
+    [ ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ];
+  (* benign chunk *)
+  let ctx = ctx_of sgxb in
+  Alcotest.(check bool) "benign chunk fine" true
+    (Http.chunked_request ctx ~chunk_size:64 = Http.Harmless)
+
+let suite =
+  [
+    Alcotest.test_case "sqlite: insert/select correctness" `Quick test_sqlite_insert_select;
+    Alcotest.test_case "sqlite: update" `Quick test_sqlite_update;
+    Alcotest.test_case "sqlite: duplicate keys overwrite" `Quick test_sqlite_duplicate_keys_overwrite;
+    Alcotest.test_case "sqlite: speedtest clean under all schemes" `Quick
+      test_speedtest_runs_under_all_protections;
+    Alcotest.test_case "sqlite: pointer-intensive for MPX" `Quick
+      test_sqlite_is_pointer_intensive_for_mpx;
+    Alcotest.test_case "memcached: get/set" `Quick test_memcached_get_set;
+    Alcotest.test_case "memcached: memaslap driver" `Quick test_memaslap_runs;
+    Alcotest.test_case "memcached: CVE-2011-4971" `Quick test_cve_2011_4971;
+    Alcotest.test_case "http: benches run" `Quick test_http_benches_run;
+    Alcotest.test_case "http: SCONE double copy costs" `Quick test_sgx_send_copy_costs;
+    Alcotest.test_case "heartbleed outcomes" `Quick test_heartbleed;
+    Alcotest.test_case "heartbleed benign request" `Quick test_heartbleed_benign;
+    Alcotest.test_case "nginx CVE-2013-2028 outcomes" `Quick test_cve_2013_2028;
+  ]
+
+(* --- extended app behaviours: B-tree delete, memcached LRU eviction --- *)
+
+let test_sqlite_delete () =
+  let ctx = ctx_of sgxb in
+  let t = Sqlite.create ctx in
+  for k = 0 to 199 do
+    Sqlite.insert_row t k
+  done;
+  Alcotest.(check bool) "delete hits" true (Sqlite.delete t 100);
+  Alcotest.(check bool) "deleted key gone" false (Sqlite.select t 100);
+  Alcotest.(check bool) "neighbours intact" true (Sqlite.select t 99 && Sqlite.select t 101);
+  Alcotest.(check bool) "second delete misses" false (Sqlite.delete t 100);
+  Sqlite.insert_row t 100;
+  Alcotest.(check bool) "reinsert works" true (Sqlite.select t 100)
+
+let test_sqlite_delete_frees_rows () =
+  let m = ms () in
+  let s = native m in
+  let ctx = Sb_workloads.Wctx.make s in
+  let t = Sqlite.create ctx in
+  for k = 0 to 99 do
+    Sqlite.insert_row t k
+  done;
+  let before = Sb_vmem.Vmem.reserved_bytes (Memsys.vmem m) in
+  for k = 0 to 99 do
+    ignore (Sqlite.delete t k)
+  done;
+  for k = 100 to 199 do
+    Sqlite.insert_row t k
+  done;
+  (* freed rows are recycled: the second hundred reuses the first's rows *)
+  Alcotest.(check bool) "no footprint growth from delete+insert" true
+    (Sb_vmem.Vmem.reserved_bytes (Memsys.vmem m) <= before + 65536)
+
+let test_memcached_lru_eviction () =
+  let ctx = ctx_of sgxb in
+  let t = Memcached.create ~nbuckets:64 ~max_items:8 ctx in
+  for k = 0 to 7 do
+    Memcached.set_kv t k k
+  done;
+  (* refresh key 0 so it is MRU, then overflow the cap *)
+  Alcotest.(check bool) "key 0 present" true (Memcached.get t 0);
+  Memcached.set_kv t 100 100;
+  Alcotest.(check bool) "LRU victim (key 1) evicted" false (Memcached.get t 1);
+  Alcotest.(check bool) "refreshed key 0 survived" true (Memcached.get t 0);
+  Alcotest.(check bool) "new key present" true (Memcached.get t 100)
+
+let test_memcached_eviction_reuses_slabs () =
+  let m = ms () in
+  let ctx = Sb_workloads.Wctx.make (native m) in
+  let t = Memcached.create ~nbuckets:64 ~max_items:16 ctx in
+  for k = 0 to 499 do
+    Memcached.set_kv t k k
+  done;
+  (* 500 sets through a 16-item cap: memory bounded by the cap *)
+  Alcotest.(check bool) "footprint bounded by the cap" true
+    (Sb_vmem.Vmem.peak_reserved_bytes (Memsys.vmem m) < 1024 * 1024)
+
+let extended_apps_suite =
+  [
+    Alcotest.test_case "sqlite: delete semantics" `Quick test_sqlite_delete;
+    Alcotest.test_case "sqlite: delete frees rows" `Quick test_sqlite_delete_frees_rows;
+    Alcotest.test_case "memcached: LRU eviction order" `Quick test_memcached_lru_eviction;
+    Alcotest.test_case "memcached: eviction bounds memory" `Quick
+      test_memcached_eviction_reuses_slabs;
+  ]
+
+let suite = suite @ extended_apps_suite
+
+let test_cve_2011_4971_boundless () =
+  let ctx = ctx_of sgxb_boundless in
+  Alcotest.(check bool) "boundless: discarded but loops (paper §7)" true
+    (Memcached.handle_binary_packet (Memcached.create ctx) ~body_len:(-1024)
+     = Memcached.Survived_looping)
+
+let boundless_cve_suite =
+  [ Alcotest.test_case "memcached CVE under boundless memory" `Quick test_cve_2011_4971_boundless ]
+
+let suite = suite @ boundless_cve_suite
+
+(* --- model-based property tests: the apps vs OCaml reference models --- *)
+
+type db_op = Ins of int | Del of int | Sel of int
+
+let db_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun k -> Ins (k land 0xFF)) int);
+        (2, map (fun k -> Del (k land 0xFF)) int);
+        (4, map (fun k -> Sel (k land 0xFF)) int);
+      ])
+
+let arb_db_program =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Ins k -> Printf.sprintf "I%d" k
+             | Del k -> Printf.sprintf "D%d" k
+             | Sel k -> Printf.sprintf "S%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 120) db_op_gen)
+
+let prop_sqlite_matches_reference =
+  QCheck.Test.make ~name:"sqlite: agrees with a reference map on random programs"
+    ~count:40 arb_db_program
+    (fun ops ->
+       let ctx = ctx_of sgxb in
+       let t = Sqlite.create ctx in
+       let reference = Hashtbl.create 64 in
+       List.for_all
+         (fun op ->
+            match op with
+            | Ins k ->
+              Sqlite.insert_row t k;
+              Hashtbl.replace reference k ();
+              true
+            | Del k ->
+              let expected = Hashtbl.mem reference k in
+              Hashtbl.remove reference k;
+              Sqlite.delete t k = expected
+            | Sel k -> Sqlite.select t k = Hashtbl.mem reference k)
+         ops)
+
+let prop_memcached_matches_reference =
+  QCheck.Test.make ~name:"memcached: agrees with a reference table (no cap)"
+    ~count:30 arb_db_program
+    (fun ops ->
+       let ctx = ctx_of sgxb in
+       let t = Memcached.create ~nbuckets:64 ctx in
+       let reference = Hashtbl.create 64 in
+       List.for_all
+         (fun op ->
+            match op with
+            | Ins k | Del k ->
+              (* the cache has no delete; deletes double as sets *)
+              Memcached.set_kv t k k;
+              Hashtbl.replace reference k ();
+              true
+            | Sel k -> Memcached.get t k = Hashtbl.mem reference k)
+         ops)
+
+let model_suite = [ qtest prop_sqlite_matches_reference; qtest prop_memcached_matches_reference ]
+
+let suite = suite @ model_suite

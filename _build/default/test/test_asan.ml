@@ -1,0 +1,193 @@
+open Helpers
+open Sb_protection.Types
+
+let test_inbounds_ok () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 64 in
+  check_allows "in-bounds" (fun () ->
+      for i = 0 to 63 do
+        s.Scheme.store (s.Scheme.offset p i) 1 i
+      done)
+
+let test_redzone_detected () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 64 in
+  check_detects "right redzone" (fun () -> s.Scheme.store (s.Scheme.offset p 64) 1 0);
+  check_detects "left redzone" (fun () -> ignore (s.Scheme.load (s.Scheme.offset p (-1)) 1))
+
+let test_unaligned_tail () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 13 in
+  check_allows "last byte ok" (fun () -> ignore (s.Scheme.load (s.Scheme.offset p 12) 1));
+  check_detects "byte 13 is partial-granule poison" (fun () ->
+      ignore (s.Scheme.load (s.Scheme.offset p 13) 1))
+
+let test_use_after_free () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 64 in
+  s.Scheme.free p;
+  check_detects "use after free" (fun () -> ignore (s.Scheme.load p 1))
+
+let test_double_free () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 64 in
+  s.Scheme.free p;
+  check_detects "double free" (fun () -> s.Scheme.free p)
+
+let test_quarantine_delays_reuse () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 64 in
+  s.Scheme.free p;
+  let q = s.Scheme.malloc 64 in
+  Alcotest.(check bool) "freed chunk not immediately reused"
+    true (s.Scheme.addr_of p <> s.Scheme.addr_of q)
+
+let test_quarantine_footprint_grows_under_churn () =
+  let m, s = fresh asan in
+  (* The swaptions effect: constant alloc/free of tiny objects inflates
+     the footprint versus the native allocator (c.f. the same loop in
+     test_alloc, which stays flat). *)
+  for _ = 1 to 10_000 do
+    let p = s.Scheme.malloc 48 in
+    s.Scheme.free p
+  done;
+  let peak = Sb_vmem.Vmem.peak_reserved_bytes (Memsys.vmem m) in
+  Alcotest.(check bool) "footprint inflated by quarantine" true (peak > 1024 * 1024)
+
+let test_shadow_constant_reservation () =
+  let m, s = fresh asan in
+  ignore s;
+  let expected = Sb_machine.Config.scaled (Memsys.cfg m) (512 * 1024 * 1024) in
+  Alcotest.(check bool) "512MB-scaled shadow reserved up-front" true
+    (Sb_vmem.Vmem.reserved_bytes (Memsys.vmem m) >= expected)
+
+let test_globals_and_stack_redzones () =
+  let _, s = fresh asan in
+  let g = s.Scheme.global 32 in
+  check_detects "global redzone" (fun () -> s.Scheme.store (s.Scheme.offset g 32) 1 0);
+  let tok = s.Scheme.stack_push () in
+  let b = s.Scheme.stack_alloc 32 in
+  check_detects "stack redzone" (fun () -> s.Scheme.store (s.Scheme.offset b 32) 1 0);
+  s.Scheme.stack_pop tok
+
+let test_stack_pop_unpoisons () =
+  let _, s = fresh asan in
+  let tok = s.Scheme.stack_push () in
+  let _b = s.Scheme.stack_alloc 32 in
+  s.Scheme.stack_pop tok;
+  let tok2 = s.Scheme.stack_push () in
+  let b2 = s.Scheme.stack_alloc 64 in
+  check_allows "reused stack memory clean" (fun () ->
+      for i = 0 to 63 do
+        s.Scheme.store (s.Scheme.offset b2 i) 1 0
+      done);
+  s.Scheme.stack_pop tok2
+
+let test_no_pointer_metadata () =
+  (* ASan pointers through memory lose nothing — there is nothing to
+     lose; a swapped pointer is as (un)protected as the original. *)
+  let _, s = fresh asan in
+  let slot = s.Scheme.malloc 8 in
+  let obj = s.Scheme.malloc 16 in
+  s.Scheme.store_ptr slot obj;
+  let obj' = s.Scheme.load_ptr slot in
+  check_allows "loaded pointer usable" (fun () -> s.Scheme.store obj' 1 1);
+  (* Redzone still catches adjacent overflow... *)
+  check_detects "redzone catch" (fun () -> s.Scheme.store (s.Scheme.offset obj' 16) 1 1)
+
+let test_interceptor_checks_range () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 32 in
+  check_allows "32 ok" (fun () -> s.Scheme.libc_check p 32 Write);
+  check_detects "33 crosses redzone" (fun () -> s.Scheme.libc_check p 33 Write)
+
+let test_far_oob_inside_another_object_missed () =
+  (* ASan's known blind spot: an OOB that lands inside another valid
+     object (skipping the redzone) is not detected. *)
+  let _, s = fresh asan in
+  let a = s.Scheme.malloc 64 in
+  let _gap = s.Scheme.malloc 64 in
+  let b = s.Scheme.malloc 64 in
+  let delta = s.Scheme.addr_of b - s.Scheme.addr_of a in
+  check_allows "far overflow into b undetected" (fun () ->
+      s.Scheme.store (s.Scheme.offset a delta) 1 0xEE)
+
+let prop_inbounds_never_flagged =
+  QCheck.Test.make ~name:"asan: in-bounds accesses never flagged" ~count:100
+    QCheck.(pair (int_range 1 200) (int_range 0 199))
+    (fun (size, off) ->
+       QCheck.assume (off < size);
+       let _, s = fresh asan in
+       let p = s.Scheme.malloc size in
+       match s.Scheme.store (s.Scheme.offset p off) 1 1 with
+       | () -> true
+       | exception Violation _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "in-bounds accesses pass" `Quick test_inbounds_ok;
+    Alcotest.test_case "redzones detected" `Quick test_redzone_detected;
+    Alcotest.test_case "partial granule poison" `Quick test_unaligned_tail;
+    Alcotest.test_case "use-after-free detected" `Quick test_use_after_free;
+    Alcotest.test_case "double free detected" `Quick test_double_free;
+    Alcotest.test_case "quarantine delays reuse" `Quick test_quarantine_delays_reuse;
+    Alcotest.test_case "quarantine inflates footprint under churn" `Quick test_quarantine_footprint_grows_under_churn;
+    Alcotest.test_case "constant shadow reservation" `Quick test_shadow_constant_reservation;
+    Alcotest.test_case "globals and stack redzones" `Quick test_globals_and_stack_redzones;
+    Alcotest.test_case "stack pop unpoisons frame" `Quick test_stack_pop_unpoisons;
+    Alcotest.test_case "pointers carry no metadata" `Quick test_no_pointer_metadata;
+    Alcotest.test_case "interceptor checks whole range" `Quick test_interceptor_checks_range;
+    Alcotest.test_case "far OOB into another object missed" `Quick test_far_oob_inside_another_object_missed;
+    qtest prop_inbounds_never_flagged;
+  ]
+
+(* --- runtime flags (ASAN_OPTIONS analogues) --- *)
+
+let asan_with opts : Helpers.scheme_maker = fun m -> Sb_asan.Asan.make ~opts m
+
+let test_zero_quarantine_loses_uaf_detection () =
+  (* the classic tradeoff: quarantine off -> freed chunk reused at once,
+     and a use-after-free reads the NEW object instead of being caught *)
+  let _, s =
+    fresh (asan_with { Sb_asan.Asan.redzone = 16; quarantine_cap = 0 })
+  in
+  let p = s.Scheme.malloc 64 in
+  s.Scheme.free p;
+  let q = s.Scheme.malloc 64 in
+  Alcotest.(check int) "chunk reused immediately" (s.Scheme.addr_of p) (s.Scheme.addr_of q);
+  check_allows "use-after-free now invisible" (fun () -> ignore (s.Scheme.load p 1))
+
+let test_default_quarantine_catches_uaf () =
+  let _, s = fresh asan in
+  let p = s.Scheme.malloc 64 in
+  s.Scheme.free p;
+  check_detects "uaf caught with quarantine on" (fun () -> ignore (s.Scheme.load p 1))
+
+let test_wide_redzones_cost_memory () =
+  let footprint rz =
+    let m, s = fresh (asan_with { Sb_asan.Asan.redzone = rz; quarantine_cap = 0 }) in
+    for _ = 1 to 2000 do
+      ignore (s.Scheme.malloc 32)
+    done;
+    Sb_vmem.Vmem.peak_reserved_bytes (Memsys.vmem m)
+  in
+  Alcotest.(check bool) "128B redzones cost more than 16B" true (footprint 128 > footprint 16)
+
+let test_redzone_still_detects_with_flags () =
+  let _, s = fresh (asan_with { Sb_asan.Asan.redzone = 64; quarantine_cap = 0 }) in
+  let p = s.Scheme.malloc 32 in
+  check_detects "overflow into the wide redzone" (fun () ->
+      s.Scheme.store (s.Scheme.offset p 60) 1 0)
+
+let flags_suite =
+  [
+    Alcotest.test_case "flags: quarantine=0 loses UAF detection" `Quick
+      test_zero_quarantine_loses_uaf_detection;
+    Alcotest.test_case "flags: default quarantine catches UAF" `Quick
+      test_default_quarantine_catches_uaf;
+    Alcotest.test_case "flags: wide redzones cost memory" `Quick test_wide_redzones_cost_memory;
+    Alcotest.test_case "flags: wide redzones still detect" `Quick
+      test_redzone_still_detects_with_flags;
+  ]
+
+let suite = suite @ flags_suite

@@ -1,0 +1,312 @@
+(** Correctness tests for the full-algorithm SPEC kernels: the simulated
+    programs must compute *right answers*, not just traffic. *)
+
+open Helpers
+module Wctx = Sb_workloads.Wctx
+module Bzip2 = Sb_workloads.Spec_bzip2
+module Astar = Sb_workloads.Spec_astar
+module Sjeng = Sb_workloads.Spec_sjeng
+module Gobmk = Sb_workloads.Spec_gobmk
+module Hmmer = Sb_workloads.Spec_hmmer
+module Quantum = Sb_workloads.Spec_libquantum
+module Scheme = Sb_protection.Scheme
+
+let ctx_of maker = Wctx.make ((fun m -> maker m) (ms ()))
+
+(* ---- bzip2 ---- *)
+
+let test_bwt_invertible () =
+  let ctx = ctx_of sgxb in
+  let len = 128 in
+  let data = Wctx.array ctx len 1 in
+  Wctx.fill_random ctx data len 1;
+  let out = Wctx.array ctx len 1 in
+  let order = Wctx.array ctx (len * 4) 1 in
+  let primary = Bzip2.bwt_block ctx ~data ~out ~order ~len in
+  let original =
+    Sb_vmem.Vmem.read_string (Memsys.vmem ctx.Wctx.ms)
+      ~addr:(ctx.Wctx.s.Scheme.addr_of data) ~len
+  in
+  let last_col =
+    Sb_vmem.Vmem.read_string (Memsys.vmem ctx.Wctx.ms)
+      ~addr:(ctx.Wctx.s.Scheme.addr_of out) ~len
+  in
+  Alcotest.(check string) "inverse BWT recovers the block" original
+    (Bzip2.inverse_bwt last_col primary)
+
+let test_bwt_permutes () =
+  (* the BWT output is a permutation of the input bytes *)
+  let ctx = ctx_of native in
+  let len = 64 in
+  let data = Wctx.array ctx len 1 in
+  Wctx.fill_random ctx data len 1;
+  let out = Wctx.array ctx len 1 in
+  let order = Wctx.array ctx (len * 4) 1 in
+  ignore (Bzip2.bwt_block ctx ~data ~out ~order ~len);
+  let bytes_of p =
+    let s =
+      Sb_vmem.Vmem.read_string (Memsys.vmem ctx.Wctx.ms)
+        ~addr:(ctx.Wctx.s.Scheme.addr_of p) ~len
+    in
+    List.sort compare (List.init len (String.get s))
+  in
+  Alcotest.(check bool) "same multiset of bytes" true (bytes_of data = bytes_of out)
+
+(* ---- astar ---- *)
+
+let test_astar_finds_valid_path () =
+  let ctx = ctx_of sgxb in
+  let g = Astar.build ctx ~w:24 ~h:24 ~wall_pct:20 in
+  match Astar.search ctx g with
+  | None -> Alcotest.fail "a path must exist (walls are finite-cost)"
+  | Some path ->
+    let goal = (24 * 24) - 1 in
+    (match path with
+     | first :: _ -> Alcotest.(check int) "starts at 0" 0 first
+     | [] -> Alcotest.fail "empty path");
+    Alcotest.(check int) "ends at the goal" goal (List.nth path (List.length path - 1));
+    (* consecutive nodes are grid neighbours *)
+    let rec ok = function
+      | a :: (b :: _ as rest) ->
+        let ax = a mod 24 and ay = a / 24 and bx = b mod 24 and by = b / 24 in
+        abs (ax - bx) + abs (ay - by) = 1 && ok rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "steps are adjacent" true (ok path)
+
+let test_astar_prefers_cheap_terrain () =
+  (* on an open grid the path length equals the Manhattan distance *)
+  let ctx = ctx_of native in
+  let g = Astar.build ctx ~w:16 ~h:16 ~wall_pct:0 in
+  match Astar.search ctx g with
+  | None -> Alcotest.fail "path must exist"
+  | Some path ->
+    Alcotest.(check int) "shortest path length" (15 + 15 + 1) (List.length path)
+
+(* ---- sjeng ---- *)
+
+let test_alphabeta_equals_minimax () =
+  let ctx = ctx_of native in
+  let g = Sjeng.create ctx ~side:4 ~tt_entries:1024 in
+  (* a few fixed stones *)
+  Sjeng.set_cell ctx g 1 1;
+  Sjeng.set_cell ctx g 6 2;
+  List.iter
+    (fun depth ->
+       let ab =
+         Sjeng.alphabeta ~use_tt:false ctx g ~depth ~alpha:min_int ~beta:max_int ~player:1
+       in
+       let mm = Sjeng.minimax ctx g ~depth ~player:1 in
+       Alcotest.(check int) (Printf.sprintf "depth %d" depth) mm ab)
+    [ 1; 2; 3; 4 ]
+
+let test_alphabeta_prunes () =
+  let ctx = ctx_of native in
+  let g = Sjeng.create ctx ~side:6 ~tt_entries:1024 in
+  ignore (Sjeng.alphabeta ~use_tt:false ctx g ~depth:4 ~alpha:min_int ~beta:max_int ~player:1);
+  let pruned = g.Sjeng.nodes in
+  g.Sjeng.nodes <- 0;
+  ignore (Sjeng.minimax ctx g ~depth:4 ~player:1);
+  (* minimax doesn't count nodes; compare against the full tree size *)
+  let full = 1 + 5 + 25 + 125 + 625 in
+  Alcotest.(check bool) "alpha-beta visits fewer nodes" true (pruned < full)
+
+let test_tt_hits_accumulate () =
+  let ctx = ctx_of native in
+  let g = Sjeng.create ctx ~side:6 ~tt_entries:4096 in
+  ignore (Sjeng.alphabeta ctx g ~depth:4 ~alpha:min_int ~beta:max_int ~player:1);
+  ignore (Sjeng.alphabeta ctx g ~depth:4 ~alpha:min_int ~beta:max_int ~player:1);
+  Alcotest.(check bool) "second search hits the table" true (g.Sjeng.tt_hits > 0)
+
+(* ---- gobmk ---- *)
+
+let test_capture () =
+  let ctx = ctx_of sgxb in
+  let b = Gobmk.create ctx in
+  (* white stone at (1,1) surrounded by black on three sides *)
+  let at x y = (y * 9) + x in
+  Alcotest.(check bool) "place white" true (Gobmk.place ctx b (at 1 1) 2);
+  Alcotest.(check bool) "b1" true (Gobmk.place ctx b (at 0 1) 1);
+  Alcotest.(check bool) "b2" true (Gobmk.place ctx b (at 2 1) 1);
+  Alcotest.(check bool) "b3" true (Gobmk.place ctx b (at 1 0) 1);
+  Alcotest.(check int) "not captured yet" 2 (Gobmk.stone ctx b (at 1 1));
+  Alcotest.(check bool) "b4 captures" true (Gobmk.place ctx b (at 1 2) 1);
+  Alcotest.(check int) "white stone removed" 0 (Gobmk.stone ctx b (at 1 1));
+  Alcotest.(check int) "capture counted" 1 b.Gobmk.captures
+
+let test_group_liberties () =
+  let ctx = ctx_of native in
+  let b = Gobmk.create ctx in
+  let at x y = (y * 9) + x in
+  ignore (Gobmk.place ctx b (at 4 4) 1);
+  ignore (Gobmk.place ctx b (at 5 4) 1);
+  let members, libs = Gobmk.group_liberties ctx b (at 4 4) in
+  Alcotest.(check int) "two-stone group" 2 (List.length members);
+  Alcotest.(check int) "six liberties" 6 libs
+
+let test_suicide_refused () =
+  let ctx = ctx_of native in
+  let b = Gobmk.create ctx in
+  let at x y = (y * 9) + x in
+  (* black surrounds the corner point *)
+  ignore (Gobmk.place ctx b (at 1 0) 1);
+  ignore (Gobmk.place ctx b (at 0 1) 1);
+  Alcotest.(check bool) "white corner move is suicide" false (Gobmk.place ctx b (at 0 0) 2);
+  Alcotest.(check int) "square stays empty" 0 (Gobmk.stone ctx b (at 0 0))
+
+(* ---- hmmer ---- *)
+
+let test_viterbi_traceback_consistent () =
+  let ctx = ctx_of sgxb in
+  let md = Hmmer.random_model ctx ~m:16 in
+  let l = 24 in
+  let seq = Wctx.array ctx l 1 in
+  Wctx.fill_random ctx seq l 1;
+  let score, ops = Hmmer.viterbi ctx md ~seq ~l in
+  Alcotest.(check bool) "finite score" true (score > Hmmer.neg_inf);
+  (* the ops walk must account for matches+inserts = residues consumed
+     and matches+deletes = profile columns consumed *)
+  let m_ct = List.length (List.filter (( = ) 1) ops) in
+  let i_ct = List.length (List.filter (( = ) 2) ops) in
+  let d_ct = List.length (List.filter (( = ) 3) ops) in
+  Alcotest.(check bool) "ops present" true (ops <> []);
+  Alcotest.(check bool) "residues covered" true (m_ct + i_ct <= l);
+  Alcotest.(check bool) "columns covered" true (m_ct + d_ct <= 16)
+
+let test_viterbi_deterministic () =
+  let run () =
+    let ctx = ctx_of native in
+    let md = Hmmer.random_model ctx ~m:16 in
+    let l = 24 in
+    let seq = Wctx.array ctx l 1 in
+    Wctx.fill_random ctx seq l 1;
+    fst (Hmmer.viterbi ctx md ~seq ~l)
+  in
+  Alcotest.(check int) "same score across runs" (run ()) (run ())
+
+(* ---- libquantum ---- *)
+
+let test_grover_finds_marked () =
+  let ctx = ctx_of sgxb in
+  let r = Quantum.create ctx ~qubits:8 in
+  Alcotest.(check int) "Grover amplifies the marked state" 77
+    (Quantum.grover ctx r ~marked:77)
+
+let test_grover_other_mark () =
+  let ctx = ctx_of native in
+  let r = Quantum.create ctx ~qubits:7 in
+  Alcotest.(check int) "works for other marks too" 3 (Quantum.grover ctx r ~marked:3)
+
+(* every deep kernel still runs clean under the protecting schemes *)
+let deep_runs_clean =
+  List.concat_map
+    (fun wname ->
+       [
+         Alcotest.test_case (wname ^ " clean under sgxbounds-noopt") `Quick (fun () ->
+             let ctx = Wctx.make (sgxb_noopt (ms ())) in
+             (Sb_workloads.Registry.find wname).Sb_workloads.Registry.run ctx
+               ~n:(max 64 ((Sb_workloads.Registry.find wname).Sb_workloads.Registry.default_n / 32)));
+       ])
+    [ "bzip2"; "astar"; "sjeng"; "gobmk"; "hmmer"; "libquantum" ]
+
+let suite =
+  [
+    Alcotest.test_case "bzip2: BWT invertible" `Quick test_bwt_invertible;
+    Alcotest.test_case "bzip2: BWT is a permutation" `Quick test_bwt_permutes;
+    Alcotest.test_case "astar: valid path" `Quick test_astar_finds_valid_path;
+    Alcotest.test_case "astar: shortest on open grid" `Quick test_astar_prefers_cheap_terrain;
+    Alcotest.test_case "sjeng: alpha-beta sound vs minimax" `Quick test_alphabeta_equals_minimax;
+    Alcotest.test_case "sjeng: alpha-beta prunes" `Quick test_alphabeta_prunes;
+    Alcotest.test_case "sjeng: TT hits accumulate" `Quick test_tt_hits_accumulate;
+    Alcotest.test_case "gobmk: capture mechanics" `Quick test_capture;
+    Alcotest.test_case "gobmk: group liberties" `Quick test_group_liberties;
+    Alcotest.test_case "gobmk: suicide refused" `Quick test_suicide_refused;
+    Alcotest.test_case "hmmer: viterbi traceback consistent" `Quick test_viterbi_traceback_consistent;
+    Alcotest.test_case "hmmer: deterministic" `Quick test_viterbi_deterministic;
+    Alcotest.test_case "libquantum: Grover finds the marked state" `Quick test_grover_finds_marked;
+    Alcotest.test_case "libquantum: Grover (other mark)" `Quick test_grover_other_mark;
+  ]
+  @ deep_runs_clean
+
+(* ---- dedup ---- *)
+
+module Dedup = Sb_workloads.Parsec_dedup
+
+let fill_stream ctx stream ~len ~seed =
+  Wctx.write_seq ctx stream ~lo:0 ~hi:(len / 4) ~width:4 (fun i ->
+      ((seed * 131) + (i * 7) + (i lsr 5)) land 0xFFFFFF)
+
+let test_dedup_content_defined () =
+  (* identical content produces identical chunk boundaries *)
+  let ctx = ctx_of native in
+  let st = Dedup.create_store ctx ~nbuckets:256 in
+  let len = 4096 in
+  let s1 = Wctx.array ctx len 1 and s2 = Wctx.array ctx len 1 in
+  fill_stream ctx s1 ~len ~seed:7;
+  fill_stream ctx s2 ~len ~seed:7;
+  let b1 = Dedup.chunk_stream ctx st s1 ~len in
+  let b2 = Dedup.chunk_stream ctx st s2 ~len in
+  Alcotest.(check (list int)) "same boundaries" b1 b2
+
+let test_dedup_duplicates_not_stored () =
+  let ctx = ctx_of sgxb in
+  let st = Dedup.create_store ctx ~nbuckets:256 in
+  let len = 4096 in
+  let s1 = Wctx.array ctx len 1 in
+  fill_stream ctx s1 ~len ~seed:3;
+  ignore (Dedup.chunk_stream ctx st s1 ~len);
+  let stored_after_first = st.Dedup.stored_bytes in
+  ignore (Dedup.chunk_stream ctx st s1 ~len);
+  Alcotest.(check int) "second pass stores nothing" stored_after_first st.Dedup.stored_bytes;
+  Alcotest.(check bool) "duplicates counted" true (st.Dedup.dup_chunks > 0)
+
+let test_dedup_fresh_content_stored () =
+  let ctx = ctx_of native in
+  let st = Dedup.create_store ctx ~nbuckets:256 in
+  let len = 4096 in
+  let s1 = Wctx.array ctx len 1 in
+  fill_stream ctx s1 ~len ~seed:1;
+  ignore (Dedup.chunk_stream ctx st s1 ~len);
+  let first = st.Dedup.stored_bytes in
+  fill_stream ctx s1 ~len ~seed:2;
+  ignore (Dedup.chunk_stream ctx st s1 ~len);
+  Alcotest.(check bool) "fresh content stored" true (st.Dedup.stored_bytes > first);
+  Alcotest.(check int) "every byte accounted once" (2 * len) st.Dedup.stored_bytes
+
+let dedup_suite =
+  [
+    Alcotest.test_case "dedup: chunking is content-defined" `Quick test_dedup_content_defined;
+    Alcotest.test_case "dedup: duplicates not stored twice" `Quick test_dedup_duplicates_not_stored;
+    Alcotest.test_case "dedup: fresh content stored once" `Quick test_dedup_fresh_content_stored;
+  ]
+
+let suite = suite @ dedup_suite
+
+(* ---- pca ---- *)
+
+module Pca = Sb_workloads.Phoenix_pca
+
+let test_pca_recovers_planted_direction () =
+  let ctx = ctx_of sgxb in
+  let m, u = Pca.build ctx ~n:48 ~noise:4 in
+  let v = Pca.power_iteration ctx m ~iters:4 in
+  Alcotest.(check bool) "dominant direction recovered (cos^2 > 90%)" true
+    (Pca.alignment_pct v u > 90)
+
+let test_pca_iteration_stable () =
+  (* more iterations must not destroy alignment *)
+  let ctx = ctx_of native in
+  let m, u = Pca.build ctx ~n:32 ~noise:2 in
+  let v2 = Pca.power_iteration ctx m ~iters:2 in
+  let v6 = Pca.power_iteration ctx m ~iters:6 in
+  Alcotest.(check bool) "still aligned" true
+    (Pca.alignment_pct v6 u >= Pca.alignment_pct v2 u - 5)
+
+let pca_suite =
+  [
+    Alcotest.test_case "pca: recovers the planted direction" `Quick
+      test_pca_recovers_planted_direction;
+    Alcotest.test_case "pca: iteration is stable" `Quick test_pca_iteration_stable;
+  ]
+
+let suite = suite @ pca_suite

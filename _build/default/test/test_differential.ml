@@ -1,0 +1,72 @@
+(** Differential testing: for any in-bounds program, every protection
+    scheme must compute exactly what the native baseline computes —
+    instrumentation may cost cycles, never correctness. *)
+
+open Helpers
+module Scheme = Sb_protection.Scheme
+
+type op =
+  | Write of int * int * int   (* array, offset, value *)
+  | Read of int * int          (* array, offset *)
+  | Memcpy of int * int * int  (* dst array, src array, len *)
+  | Realloc of int * int       (* array, growth *)
+
+let arr_size = 64
+let n_arrays = 4
+
+(* Run a program and collect every read result. All accesses stay within
+   the original (calloc-zeroed) [arr_size] bytes: bytes beyond that are
+   *uninitialized* after a growing realloc — reading them is UB in C and
+   the schemes legitimately differ there (native realloc copies the old
+   chunk's rounded size including slack; SGXBounds copies the exact
+   object size), so the comparison is restricted to defined memory. *)
+let run_program maker ops =
+  let _, s = fresh maker in
+  let arrays = Array.init n_arrays (fun _ -> s.Scheme.calloc 1 arr_size) in
+  let log = ref [] in
+  List.iter
+    (fun op ->
+       match op with
+       | Write (a, off, v) ->
+         let a = a mod n_arrays in
+         s.Scheme.store (s.Scheme.offset arrays.(a) (off mod arr_size)) 1 (v land 0xff)
+       | Read (a, off) ->
+         let a = a mod n_arrays in
+         log := s.Scheme.load (s.Scheme.offset arrays.(a) (off mod arr_size)) 1 :: !log
+       | Memcpy (d, sr, len) ->
+         let d = d mod n_arrays and sr = sr mod n_arrays in
+         if d <> sr then
+           let len = 1 + (len mod arr_size) in
+           Sb_libc.Simlibc.memcpy s ~dst:arrays.(d) ~src:arrays.(sr) ~len
+       | Realloc (a, grow) ->
+         let a = a mod n_arrays in
+         arrays.(a) <- s.Scheme.realloc arrays.(a) (arr_size + (grow mod 64)))
+    ops;
+  List.rev !log
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map3 (fun a o v -> Write (a, o, v)) (int_bound 3) (int_bound 200) (int_bound 255));
+        (4, map2 (fun a o -> Read (a, o)) (int_bound 3) (int_bound 200));
+        (1, map3 (fun d s l -> Memcpy (d, s, l)) (int_bound 3) (int_bound 3) (int_bound 63));
+        (1, map2 (fun a g -> Realloc (a, g)) (int_bound 3) (int_bound 63));
+      ])
+
+let arb_program = QCheck.make QCheck.Gen.(list_size (int_range 5 60) op_gen)
+
+let differential name maker =
+  QCheck.Test.make ~name:("differential: " ^ name ^ " computes what native computes")
+    ~count:60 arb_program
+    (fun ops -> run_program maker ops = run_program native ops)
+
+let suite =
+  [
+    qtest (differential "sgxbounds" sgxb);
+    qtest (differential "sgxbounds-noopt" sgxb_noopt);
+    qtest (differential "sgxbounds-boundless" sgxb_boundless);
+    qtest (differential "asan" asan);
+    qtest (differential "mpx" mpx);
+    qtest (differential "baggy" baggy);
+  ]

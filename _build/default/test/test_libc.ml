@@ -1,0 +1,222 @@
+open Helpers
+module Libc = Sb_libc.Simlibc
+
+let test_memcpy_basic () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 32 and b = s.Scheme.malloc 32 in
+  Libc.strcpy_in s ~dst:a "hello";
+  Libc.memcpy s ~dst:b ~src:a ~len:6;
+  Alcotest.(check string) "copied" "hello" (Libc.string_out s b)
+
+let test_memcpy_overflow_detected_sgxbounds () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 64 and b = s.Scheme.malloc 32 in
+  check_detects "dst too small" (fun () -> Libc.memcpy s ~dst:b ~src:a ~len:64)
+
+let test_memcpy_overflow_detected_asan () =
+  let _, s = fresh asan in
+  let a = s.Scheme.malloc 64 and b = s.Scheme.malloc 32 in
+  check_detects "dst too small" (fun () -> Libc.memcpy s ~dst:b ~src:a ~len:64)
+
+let test_memcpy_overflow_missed_mpx () =
+  (* GCC's MPX runtime ships weak libc wrappers: the overflow happens
+     inside uninstrumented libc and is missed. *)
+  let _, s = fresh mpx in
+  let a = s.Scheme.malloc 64 and b = s.Scheme.malloc 32 in
+  check_allows "weak wrapper misses it" (fun () -> Libc.memcpy s ~dst:b ~src:a ~len:64)
+
+let test_strcpy_semantics () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 32 and b = s.Scheme.malloc 32 in
+  Libc.strcpy_in s ~dst:a "enclave";
+  let n = Libc.strcpy s ~dst:b ~src:a in
+  Alcotest.(check int) "length" 7 n;
+  Alcotest.(check string) "copied" "enclave" (Libc.string_out s b)
+
+let test_strcpy_overflow_detected () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 64 and b = s.Scheme.malloc 8 in
+  Libc.strcpy_in s ~dst:a "0123456789ABCDEF";
+  check_detects "strcpy overflow" (fun () -> ignore (Libc.strcpy s ~dst:b ~src:a))
+
+let test_strlen () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 32 in
+  Libc.strcpy_in s ~dst:a "four";
+  Alcotest.(check int) "strlen" 4 (Libc.strlen s a)
+
+let test_strncpy_pads () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 32 and b = s.Scheme.malloc 16 in
+  Libc.strcpy_in s ~dst:a "ab";
+  Libc.strncpy s ~dst:b ~src:a ~len:8;
+  Alcotest.(check string) "content" "ab" (Libc.string_out s b);
+  Alcotest.(check int) "padded" 0 (s.Scheme.load (s.Scheme.offset b 7) 1)
+
+let test_memset_and_memcmp () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 16 and b = s.Scheme.malloc 16 in
+  Libc.memset s ~dst:a ~byte:7 ~len:16;
+  Libc.memset s ~dst:b ~byte:7 ~len:16;
+  Alcotest.(check int) "equal" 0 (Libc.memcmp s a b ~len:16);
+  s.Scheme.store (s.Scheme.offset b 9) 1 8;
+  Alcotest.(check int) "b greater" (-1) (Libc.memcmp s a b ~len:16)
+
+let test_strcmp () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 16 and b = s.Scheme.malloc 16 in
+  Libc.strcpy_in s ~dst:a "abc";
+  Libc.strcpy_in s ~dst:b "abd";
+  Alcotest.(check bool) "a < b" true (Libc.strcmp s a b < 0);
+  Libc.strcpy_in s ~dst:b "abc";
+  Alcotest.(check int) "equal" 0 (Libc.strcmp s a b)
+
+let test_native_libc_unprotected () =
+  (* Under native, the same strcpy overflow silently corrupts the
+     neighbour — the attack primitive all exploits build on. *)
+  let _, s = fresh native in
+  let big = s.Scheme.malloc 64 and small = s.Scheme.malloc 16 in
+  let victim = s.Scheme.malloc 16 in
+  s.Scheme.store victim 4 0x5AFE;
+  Libc.strcpy_in s ~dst:big (String.make 40 'X');
+  check_allows "no detection natively" (fun () -> ignore (Libc.strcpy s ~dst:small ~src:big));
+  Alcotest.(check bool) "victim corrupted" true (s.Scheme.load victim 4 <> 0x5AFE)
+
+let test_unterminated_string_leak_detected () =
+  (* strlen walking past the object: SGXBounds' wrapper sees the claimed
+     range exceed the bounds when the result is used. *)
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 8 in
+  for i = 0 to 7 do
+    s.Scheme.store (s.Scheme.offset a i) 1 65 (* no terminator *)
+  done;
+  let b = s.Scheme.malloc 8 in
+  check_detects "overread caught at wrapper" (fun () -> ignore (Libc.strcpy s ~dst:b ~src:a))
+
+let prop_memcpy_roundtrip =
+  QCheck.Test.make ~name:"memcpy roundtrip across schemes" ~count:50
+    QCheck.(pair (int_range 1 100) (int_range 0 3))
+    (fun (len, which) ->
+       let maker = List.nth [ native; sgxb; asan; mpx ] which in
+       let _, s = fresh maker in
+       let a = s.Scheme.malloc (len + 8) and b = s.Scheme.malloc (len + 8) in
+       for i = 0 to len - 1 do
+         s.Scheme.store (s.Scheme.offset a i) 1 (i land 0xff)
+       done;
+       Libc.memcpy s ~dst:b ~src:a ~len;
+       let ok = ref true in
+       for i = 0 to len - 1 do
+         if s.Scheme.load (s.Scheme.offset b i) 1 <> i land 0xff then ok := false
+       done;
+       !ok)
+
+let suite =
+  [
+    Alcotest.test_case "memcpy basic" `Quick test_memcpy_basic;
+    Alcotest.test_case "memcpy overflow: sgxbounds detects" `Quick test_memcpy_overflow_detected_sgxbounds;
+    Alcotest.test_case "memcpy overflow: asan detects" `Quick test_memcpy_overflow_detected_asan;
+    Alcotest.test_case "memcpy overflow: mpx misses (weak wrappers)" `Quick test_memcpy_overflow_missed_mpx;
+    Alcotest.test_case "strcpy semantics" `Quick test_strcpy_semantics;
+    Alcotest.test_case "strcpy overflow detected" `Quick test_strcpy_overflow_detected;
+    Alcotest.test_case "strlen" `Quick test_strlen;
+    Alcotest.test_case "strncpy pads with NUL" `Quick test_strncpy_pads;
+    Alcotest.test_case "memset and memcmp" `Quick test_memset_and_memcmp;
+    Alcotest.test_case "strcmp ordering" `Quick test_strcmp;
+    Alcotest.test_case "native: strcpy silently corrupts" `Quick test_native_libc_unprotected;
+    Alcotest.test_case "unterminated string overread detected" `Quick test_unterminated_string_leak_detected;
+    qtest prop_memcpy_roundtrip;
+  ]
+
+(* --- extended libc: strcat, memchr/strchr, qsort proxy, snprintf --- *)
+
+let test_strcat () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 32 in
+  Libc.strcpy_in s ~dst:a "foo";
+  let b = s.Scheme.malloc 8 in
+  Libc.strcpy_in s ~dst:b "bar";
+  let n = Libc.strcat s ~dst:a ~src:b in
+  Alcotest.(check int) "length" 6 n;
+  Alcotest.(check string) "concatenated" "foobar" (Libc.string_out s a)
+
+let test_strcat_overflow_detected () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 8 in
+  Libc.strcpy_in s ~dst:a "sixchr";
+  let b = s.Scheme.malloc 16 in
+  Libc.strcpy_in s ~dst:b "overflows";
+  check_detects "combined length exceeds dst" (fun () -> ignore (Libc.strcat s ~dst:a ~src:b))
+
+let test_memchr_strchr () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 16 in
+  Libc.strcpy_in s ~dst:a "hay:needle";
+  Alcotest.(check (option int)) "memchr finds" (Some 3) (Libc.memchr s a ~byte:(Char.code ':') ~len:10);
+  Alcotest.(check (option int)) "memchr misses" None (Libc.memchr s a ~byte:0x7f ~len:10);
+  Alcotest.(check (option int)) "strchr" (Some 4) (Libc.strchr s a ~byte:(Char.code 'n'))
+
+let test_qsort_with_proxy () =
+  List.iter
+    (fun (_name, maker) ->
+       let _, s = fresh maker in
+       let n = 16 in
+       let a = s.Scheme.malloc (n * 4) in
+       for i = 0 to n - 1 do
+         s.Scheme.store (s.Scheme.offset a (i * 4)) 4 ((997 * (i + 3)) mod 101)
+       done;
+       (* the comparator runs as instrumented application code *)
+       let cmp p q = compare (s.Scheme.load p 4) (s.Scheme.load q 4) in
+       Libc.qsort s ~base:a ~nmemb:n ~width:4 ~cmp;
+       for i = 1 to n - 1 do
+         let x = s.Scheme.load (s.Scheme.offset a ((i - 1) * 4)) 4 in
+         let y = s.Scheme.load (s.Scheme.offset a (i * 4)) 4 in
+         Alcotest.(check bool) "sorted" true (x <= y)
+       done)
+    [ ("native", native); ("sgxbounds", sgxb); ("asan", asan) ]
+
+let test_qsort_wrapper_checks_base () =
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 32 in
+  check_detects "nmemb*width exceeds object" (fun () ->
+      Libc.qsort s ~base:a ~nmemb:10 ~width:4 ~cmp:(fun _ _ -> 0))
+
+let test_snprintf_formats () =
+  let _, s = fresh sgxb in
+  let name = s.Scheme.malloc 16 in
+  Libc.strcpy_in s ~dst:name "enclave";
+  let dst = s.Scheme.malloc 64 in
+  let n =
+    Libc.snprintf s ~dst ~max:64 ~fmt:"hello %s, %d%% shielded"
+      ~args:[ Libc.Str name; Libc.Int 100 ]
+  in
+  Alcotest.(check string) "formatted" "hello enclave, 100% shielded" (Libc.string_out s dst);
+  Alcotest.(check int) "length" 28 n
+
+let test_snprintf_truncates () =
+  let _, s = fresh sgxb in
+  let dst = s.Scheme.malloc 8 in
+  ignore (Libc.snprintf s ~dst ~max:8 ~fmt:"0123456789" ~args:[]);
+  Alcotest.(check string) "truncated to max-1" "0123456" (Libc.string_out s dst)
+
+let test_snprintf_checks_string_pointer () =
+  (* the %s argument is extracted and bounds-checked on the fly *)
+  let _, s = fresh sgxb in
+  let bad = s.Scheme.malloc 8 in
+  Libc.memset s ~dst:bad ~byte:65 ~len:8; (* unterminated *)
+  let dst = s.Scheme.malloc 256 in
+  check_detects "unterminated %s argument caught" (fun () ->
+      ignore (Libc.snprintf s ~dst ~max:256 ~fmt:"%s" ~args:[ Libc.Str bad ]))
+
+let extended_suite =
+  [
+    Alcotest.test_case "strcat" `Quick test_strcat;
+    Alcotest.test_case "strcat overflow detected" `Quick test_strcat_overflow_detected;
+    Alcotest.test_case "memchr and strchr" `Quick test_memchr_strchr;
+    Alcotest.test_case "qsort via callback proxy" `Quick test_qsort_with_proxy;
+    Alcotest.test_case "qsort wrapper checks base" `Quick test_qsort_wrapper_checks_base;
+    Alcotest.test_case "snprintf formats %d/%s/%%" `Quick test_snprintf_formats;
+    Alcotest.test_case "snprintf truncates at max" `Quick test_snprintf_truncates;
+    Alcotest.test_case "snprintf checks %s pointers" `Quick test_snprintf_checks_string_pointer;
+  ]
+
+let suite = suite @ extended_suite

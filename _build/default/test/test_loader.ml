@@ -1,0 +1,115 @@
+open Helpers
+module Loader = Sb_sgx.Loader
+module Vmem = Sb_vmem.Vmem
+
+let fresh_loader () = Loader.create ~mmap_min_addr:0 ~size:(1 lsl 20) (ms ())
+
+let test_stock_kernel_refuses () =
+  match Loader.create ~mmap_min_addr:65536 ~size:(1 lsl 20) (ms ()) with
+  | _ -> Alcotest.fail "expected Driver_error"
+  | exception Loader.Driver_error _ -> ()
+
+let test_enclave_base_is_zero () =
+  let e = fresh_loader () in
+  Alcotest.(check int) "base 0x0" 0 (Loader.base e)
+
+let test_null_page_guarded () =
+  let m = ms () in
+  let _e = Loader.create ~mmap_min_addr:0 ~size:(1 lsl 20) m in
+  match Vmem.load (Memsys.vmem m) ~addr:8 ~width:4 with
+  | _ -> Alcotest.fail "NULL page must fault"
+  | exception Vmem.Fault { kind = Vmem.Guard_hit; _ } -> ()
+
+let test_pages_loaded_with_content () =
+  let m = ms () in
+  let e = Loader.create ~mmap_min_addr:0 ~size:(1 lsl 20) m in
+  let a = Loader.add_page e ~content:"code page one" in
+  Alcotest.(check string) "content in place" "code page one"
+    (Vmem.read_string (Memsys.vmem m) ~addr:a ~len:13)
+
+let test_measurement_deterministic () =
+  let build () =
+    let e = fresh_loader () in
+    ignore (Loader.add_page e ~content:"text segment");
+    ignore (Loader.add_page e ~content:"rodata");
+    Loader.init e;
+    Loader.measurement e
+  in
+  Alcotest.(check int64) "same image, same MRENCLAVE" (build ()) (build ())
+
+let test_measurement_detects_tampering () =
+  let build content =
+    let e = fresh_loader () in
+    ignore (Loader.add_page e ~content);
+    Loader.init e;
+    Loader.measurement e
+  in
+  Alcotest.(check bool) "one flipped byte changes MRENCLAVE" true
+    (build "text segment" <> build "text segmenu")
+
+let test_measurement_depends_on_order () =
+  let build pages =
+    let e = fresh_loader () in
+    List.iter (fun c -> ignore (Loader.add_page e ~content:c)) pages;
+    Loader.init e;
+    Loader.measurement e
+  in
+  Alcotest.(check bool) "page order measured" true
+    (build [ "a"; "b" ] <> build [ "b"; "a" ])
+
+let test_no_add_after_init () =
+  let e = fresh_loader () in
+  Loader.init e;
+  match Loader.add_page e ~content:"late" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_no_measurement_before_init () =
+  let e = fresh_loader () in
+  match Loader.measurement e with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_quote_verifies () =
+  let e = fresh_loader () in
+  ignore (Loader.add_page e ~content:"app");
+  Loader.init e;
+  let q = Loader.quote e ~report_data:"nonce-123" in
+  Alcotest.(check bool) "valid quote accepted" true
+    (Loader.verify_quote ~expected:(Loader.measurement e) ~report_data:"nonce-123" q)
+
+let test_quote_rejects_wrong_measurement () =
+  let e = fresh_loader () in
+  ignore (Loader.add_page e ~content:"app");
+  Loader.init e;
+  let q = Loader.quote e ~report_data:"nonce-123" in
+  Alcotest.(check bool) "wrong expected measurement rejected" false
+    (Loader.verify_quote ~expected:42L ~report_data:"nonce-123" q);
+  Alcotest.(check bool) "wrong nonce rejected" false
+    (Loader.verify_quote ~expected:(Loader.measurement e) ~report_data:"evil" q);
+  Alcotest.(check bool) "garbage rejected" false
+    (Loader.verify_quote ~expected:(Loader.measurement e) ~report_data:"nonce-123" "zz")
+
+let test_enclave_size_limit () =
+  let e = Loader.create ~mmap_min_addr:0 ~size:(3 * 4096) (ms ()) in
+  ignore (Loader.add_page e ~content:"one");
+  ignore (Loader.add_page e ~content:"two");
+  match Loader.add_page e ~content:"three" with
+  | _ -> Alcotest.fail "expected Enclave_oom"
+  | exception Vmem.Enclave_oom _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "stock kernel refuses base 0x0" `Quick test_stock_kernel_refuses;
+    Alcotest.test_case "enclave base is 0x0" `Quick test_enclave_base_is_zero;
+    Alcotest.test_case "NULL page stays guarded" `Quick test_null_page_guarded;
+    Alcotest.test_case "pages loaded with content" `Quick test_pages_loaded_with_content;
+    Alcotest.test_case "measurement deterministic" `Quick test_measurement_deterministic;
+    Alcotest.test_case "measurement detects tampering" `Quick test_measurement_detects_tampering;
+    Alcotest.test_case "measurement depends on order" `Quick test_measurement_depends_on_order;
+    Alcotest.test_case "no add_page after EINIT" `Quick test_no_add_after_init;
+    Alcotest.test_case "no measurement before EINIT" `Quick test_no_measurement_before_init;
+    Alcotest.test_case "quote verifies" `Quick test_quote_verifies;
+    Alcotest.test_case "bad quotes rejected" `Quick test_quote_rejects_wrong_measurement;
+    Alcotest.test_case "enclave size limit enforced" `Quick test_enclave_size_limit;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "sgxbounds"
+    [
+      ("machine", Test_machine.suite);
+      ("vmem", Test_vmem.suite);
+      ("cache", Test_cache.suite);
+      ("sgx", Test_sgx.suite);
+      ("loader", Test_loader.suite);
+      ("alloc", Test_alloc.suite);
+      ("sgxbounds", Test_sgxbounds.suite);
+      ("asan", Test_asan.suite);
+      ("mpx", Test_mpx.suite);
+      ("baggy", Test_baggy.suite);
+      ("libc", Test_libc.suite);
+      ("scone", Test_scone.suite);
+      ("mt", Test_mt.suite);
+      ("ripe", Test_ripe.suite);
+      ("workloads", Test_workloads.suite);
+      ("deep-kernels", Test_deep_kernels.suite);
+      ("apps", Test_apps.suite);
+      ("harness", Test_harness.suite);
+      ("fex", Test_fex.suite);
+      ("narrowing", Test_narrowing.suite);
+      ("differential", Test_differential.suite);
+    ]

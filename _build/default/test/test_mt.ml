@@ -1,0 +1,113 @@
+open Helpers
+module Mt = Sb_mt.Mt
+module Memsys = Sb_sgx.Memsys
+
+let test_all_threads_run () =
+  let m = ms () in
+  let hits = Array.make 4 false in
+  Mt.run m (Array.init 4 (fun i () -> hits.(i) <- true));
+  Alcotest.(check bool) "all ran" true (Array.for_all Fun.id hits)
+
+let test_elapsed_is_max () =
+  let m = ms () in
+  Mt.run m
+    [|
+      (fun () -> Memsys.charge_alu m 1000);
+      (fun () -> Memsys.charge_alu m 10);
+    |];
+  Alcotest.(check int) "elapsed = slowest thread" 1000 (Memsys.get_clock m 0)
+
+let test_min_clock_scheduling_interleaves () =
+  let m = ms () in
+  let order = ref [] in
+  let worker tag cost () =
+    for _ = 1 to 3 do
+      order := tag :: !order;
+      Memsys.charge_alu m cost;
+      Mt.yield ()
+    done
+  in
+  Mt.run m [| worker "slow" 100; worker "fast" 10 |];
+  (* The fast thread must get multiple turns before the slow one ends. *)
+  let seq = List.rev !order in
+  Alcotest.(check bool) "interleaved, not serial" true
+    (seq <> [ "slow"; "slow"; "slow"; "fast"; "fast"; "fast" ])
+
+let test_deterministic () =
+  let run () =
+    let m = ms () in
+    let log = Buffer.create 64 in
+    let worker tag () =
+      for _ = 1 to 5 do
+        Buffer.add_string log tag;
+        Memsys.charge_alu m (10 * (1 + String.length tag));
+        Mt.yield ()
+      done
+    in
+    Mt.run m [| worker "a"; worker "bb"; worker "ccc" |];
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same schedule across runs" (run ()) (run ())
+
+let test_memory_accesses_yield_automatically () =
+  let m = ms () in
+  let vm = Memsys.vmem m in
+  let a = Sb_vmem.Vmem.map vm ~len:8192 ~perm:Sb_vmem.Vmem.Read_write () in
+  let turns = ref [] in
+  let worker tag () =
+    for i = 0 to 999 do
+      ignore (Memsys.load m ~addr:(a + (i land 1023)) ~width:4)
+    done;
+    turns := tag :: !turns
+  in
+  Mt.run m [| worker 1; worker 2 |];
+  (* Both finish; with automatic yields neither starves. *)
+  Alcotest.(check int) "both completed" 2 (List.length !turns)
+
+let test_parallel_for_covers_range () =
+  let m = ms () in
+  let seen = Array.make 100 0 in
+  Mt.parallel_for m ~threads:8 ~lo:0 ~hi:100 (fun i -> seen.(i) <- seen.(i) + 1);
+  Alcotest.(check bool) "each index exactly once" true (Array.for_all (( = ) 1) seen)
+
+let test_parallel_speedup () =
+  (* The same total ALU work split over 4 threads must take ~1/4 the
+     simulated time. *)
+  let run threads =
+    let m = ms () in
+    Mt.parallel_for m ~threads ~lo:0 ~hi:4000 (fun _ -> Memsys.charge_alu m 10);
+    Memsys.get_clock m 0
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check int) "perfect scaling of ALU work" (t1 / 4) t4
+
+let test_exception_propagates_and_resets () =
+  let m = ms () in
+  (match Mt.run m [| (fun () -> failwith "boom") |] with
+   | () -> Alcotest.fail "expected exception"
+   | exception Failure _ -> ());
+  Alcotest.(check bool) "scheduler deactivated" false !Sb_machine.Eff.scheduler_active;
+  (* And a new region still works. *)
+  Mt.run m [| (fun () -> ()) |]
+
+let test_nested_run_rejected () =
+  let m = ms () in
+  (match Mt.run m [| (fun () -> Mt.run m [| (fun () -> ()) |]) |] with
+   | () -> Alcotest.fail "expected rejection"
+   | exception Invalid_argument _ -> ())
+
+let test_yield_outside_region_is_noop () = Mt.yield ()
+
+let suite =
+  [
+    Alcotest.test_case "all threads run" `Quick test_all_threads_run;
+    Alcotest.test_case "elapsed is max over threads" `Quick test_elapsed_is_max;
+    Alcotest.test_case "min-clock scheduling interleaves" `Quick test_min_clock_scheduling_interleaves;
+    Alcotest.test_case "schedule is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "memory accesses yield automatically" `Quick test_memory_accesses_yield_automatically;
+    Alcotest.test_case "parallel_for covers range once" `Quick test_parallel_for_covers_range;
+    Alcotest.test_case "parallel ALU work scales" `Quick test_parallel_speedup;
+    Alcotest.test_case "exceptions propagate and reset scheduler" `Quick test_exception_propagates_and_resets;
+    Alcotest.test_case "nested regions rejected" `Quick test_nested_run_rejected;
+    Alcotest.test_case "yield outside region is a no-op" `Quick test_yield_outside_region_is_noop;
+  ]

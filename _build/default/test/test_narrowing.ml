@@ -1,0 +1,132 @@
+(** Tests for the §8 extension: intra-object bounds narrowing. *)
+
+open Helpers
+module Scheme = Sb_protection.Scheme
+open Sb_protection.Types
+
+(* struct { char buf[32]; fnptr f; } — the in-struct RIPE shape *)
+let mk_struct s =
+  let st = s.Scheme.malloc 40 in
+  s.Scheme.store (s.Scheme.offset st 32) 8 0xC0FFEE;
+  st
+
+let test_narrowed_in_bounds_ok () =
+  let _, s = fresh sgxb in
+  let st = mk_struct s in
+  let buf = Sgxbounds.narrow s st ~len:32 in
+  check_allows "field accesses fine" (fun () ->
+      for i = 0 to 31 do
+        s.Scheme.store (s.Scheme.offset buf i) 1 i
+      done)
+
+let test_narrowing_catches_in_struct_overflow () =
+  let _, s = fresh sgxb in
+  let st = mk_struct s in
+  (* without narrowing the in-struct overflow passes (Table 4's misses) *)
+  check_allows "object-granularity misses it" (fun () ->
+      s.Scheme.store (s.Scheme.offset st 32) 8 0xBAD);
+  (* with narrowing it is detected *)
+  let buf = Sgxbounds.narrow s st ~len:32 in
+  check_detects "narrowed bounds catch it" (fun () ->
+      s.Scheme.store (s.Scheme.offset buf 32) 8 0xBAD)
+
+let test_narrowing_catches_underflow () =
+  let _, s = fresh sgxb in
+  let st = mk_struct s in
+  let field = Sgxbounds.narrow s (s.Scheme.offset st 16) ~len:8 in
+  check_detects "below the field" (fun () -> ignore (s.Scheme.load (s.Scheme.offset field (-1)) 1))
+
+let test_narrowing_never_widens () =
+  let _, s = fresh sgxb in
+  let st = mk_struct s in
+  let inner = Sgxbounds.narrow s st ~len:8 in
+  let rewiden = Sgxbounds.narrow s inner ~len:4000 in
+  check_detects "intersection, not replacement" (fun () ->
+      ignore (s.Scheme.load (s.Scheme.offset rewiden 16) 1))
+
+let test_narrowing_does_not_outlive_memory_roundtrip () =
+  let _, s = fresh sgxb in
+  let st = mk_struct s in
+  let buf = Sgxbounds.narrow s st ~len:32 in
+  let slot = s.Scheme.malloc 8 in
+  s.Scheme.store_ptr slot buf;
+  let p = s.Scheme.load_ptr slot in
+  (* reverted to object bounds: in-struct access allowed again... *)
+  check_allows "object bounds after spill" (fun () ->
+      ignore (s.Scheme.load (s.Scheme.offset p 36) 1));
+  (* ...but the object's own bound still holds *)
+  check_detects "tag still enforced" (fun () -> ignore (s.Scheme.load (s.Scheme.offset p 40) 1))
+
+let test_narrowing_still_fast_path_free () =
+  (* narrowed checks skip even the LB footer load *)
+  let m, s = fresh sgxb in
+  let st = mk_struct s in
+  let buf = Sgxbounds.narrow s st ~len:32 in
+  let before = (Memsys.snapshot m).Memsys.mem_accesses in
+  ignore (s.Scheme.load buf 1);
+  let after = (Memsys.snapshot m).Memsys.mem_accesses in
+  Alcotest.(check int) "exactly one access (no LB load)" 1 (after - before)
+
+let prop_narrowed_never_false_positive =
+  QCheck.Test.make ~name:"narrowing: in-field accesses never flagged" ~count:100
+    QCheck.(triple (int_range 1 64) (int_range 0 63) (int_range 0 63))
+    (fun (len, base_off, off) ->
+       QCheck.assume (base_off + len <= 128);
+       QCheck.assume (off < len);
+       let _, s = fresh sgxb in
+       let st = s.Scheme.malloc 128 in
+       let f = Sgxbounds.narrow s (s.Scheme.offset st base_off) ~len in
+       match s.Scheme.store (s.Scheme.offset f off) 1 1 with
+       | () -> true
+       | exception Violation _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "narrowed in-bounds accesses pass" `Quick test_narrowed_in_bounds_ok;
+    Alcotest.test_case "in-struct overflow caught with narrowing" `Quick
+      test_narrowing_catches_in_struct_overflow;
+    Alcotest.test_case "narrowed underflow caught" `Quick test_narrowing_catches_underflow;
+    Alcotest.test_case "narrowing never widens" `Quick test_narrowing_never_widens;
+    Alcotest.test_case "narrowing reverts across memory" `Quick
+      test_narrowing_does_not_outlive_memory_roundtrip;
+    Alcotest.test_case "narrowed check needs no LB load" `Quick test_narrowing_still_fast_path_free;
+    qtest prop_narrowed_never_false_positive;
+  ]
+
+let test_narrowing_closes_the_ripe_gap () =
+  (* the 8 in-struct RIPE escapes of Table 4: an application that
+     narrows its field pointers catches them all *)
+  let _, s = fresh sgxb in
+  let caught = ref 0 in
+  for _variant = 1 to 8 do
+    let st = mk_struct s in
+    let buf = Sgxbounds.narrow s st ~len:32 in
+    (* contiguous overflow from the buffer toward the sibling funcptr *)
+    match
+      for i = 0 to 39 do
+        s.Scheme.store (s.Scheme.offset buf i) 1 0x41
+      done
+    with
+    | () -> ()
+    | exception Violation _ -> incr caught
+  done;
+  Alcotest.(check int) "all 8 in-struct shapes caught" 8 !caught
+
+let prop_overlay_read_your_writes =
+  QCheck.Test.make ~name:"boundless overlay: read-your-writes" ~count:200
+    QCheck.(triple (int_bound 100_000) (int_range 0 2) (int_bound 0xFFFF))
+    (fun (addr, wexp, v) ->
+       let width = 1 lsl wexp in
+       let v = v land ((1 lsl (8 * width)) - 1) in
+       let c = Sgxbounds.Boundless.create ~chunk_bytes:256 ~capacity_bytes:(1 lsl 20) () in
+       Sgxbounds.Boundless.write c ~addr ~width v;
+       Sgxbounds.Boundless.read c ~addr ~width = v)
+
+let closing_suite =
+  [
+    Alcotest.test_case "narrowing closes the RIPE in-struct gap" `Quick
+      test_narrowing_closes_the_ripe_gap;
+    qtest prop_overlay_read_your_writes;
+  ]
+
+let suite = suite @ closing_suite

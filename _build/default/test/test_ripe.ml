@@ -1,0 +1,123 @@
+open Helpers
+module Ripe = Sb_ripe.Ripe
+
+let tally maker =
+  let _, s = fresh maker in
+  Ripe.run_all s
+
+let test_native_all_succeed () =
+  let r = tally native in
+  Alcotest.(check int) "16/16 attacks succeed natively" 16 (Ripe.count_succeeded r)
+
+let test_sgxbounds_prevents_8 () =
+  let r = tally sgxb in
+  Alcotest.(check int) "8/16 prevented" 8 (Ripe.count_prevented r);
+  (* every miss is an in-struct attack *)
+  List.iter
+    (fun ((a : Ripe.attack), o) ->
+       if o = Ripe.Succeeded then
+         Alcotest.(check bool)
+           (Ripe.name a ^ " only in-struct attacks escape")
+           true
+           (a.Ripe.target = Ripe.Instruct_funcptr))
+    r
+
+let test_asan_prevents_8 () =
+  let r = tally asan in
+  Alcotest.(check int) "8/16 prevented" 8 (Ripe.count_prevented r);
+  List.iter
+    (fun ((a : Ripe.attack), o) ->
+       if o = Ripe.Succeeded then
+         Alcotest.(check bool)
+           (Ripe.name a ^ " only in-struct attacks escape")
+           true
+           (a.Ripe.target = Ripe.Instruct_funcptr))
+    r
+
+let test_mpx_prevents_2 () =
+  let r = tally mpx in
+  Alcotest.(check int) "2/16 prevented" 2 (Ripe.count_prevented r);
+  (* both are direct stack-smashing of an adjacent function pointer *)
+  List.iter
+    (fun ((a : Ripe.attack), o) ->
+       if o = Ripe.Prevented then begin
+         Alcotest.(check bool) "stack" true (a.Ripe.location = Ripe.Stack);
+         Alcotest.(check bool) "adjacent funcptr" true (a.Ripe.target = Ripe.Adjacent_funcptr)
+       end)
+    r
+
+let test_boundless_contains_adjacent_attacks () =
+  let r = tally sgxb_boundless in
+  (* fail-oblivious: nothing detected fatally, but no adjacent-funcptr
+     attack lands either — the writes went to the overlay *)
+  List.iter
+    (fun ((a : Ripe.attack), o) ->
+       if a.Ripe.target = Ripe.Adjacent_funcptr && a.Ripe.technique <> Ripe.Strcpy_libc
+          && a.Ripe.technique <> Ripe.Memcpy_libc then
+         Alcotest.(check bool) (Ripe.name a ^ " contained") true (o = Ripe.Failed))
+    r
+
+let test_sixteen_attacks () =
+  Alcotest.(check int) "the matrix has 16 attacks" 16 (List.length Ripe.all_attacks)
+
+let suite =
+  [
+    Alcotest.test_case "matrix size is 16" `Quick test_sixteen_attacks;
+    Alcotest.test_case "native: 16/16 succeed" `Quick test_native_all_succeed;
+    Alcotest.test_case "sgxbounds: 8/16 prevented (in-struct escape)" `Quick test_sgxbounds_prevents_8;
+    Alcotest.test_case "asan: 8/16 prevented (in-struct escape)" `Quick test_asan_prevents_8;
+    Alcotest.test_case "mpx: 2/16 prevented (direct stack smashing only)" `Quick test_mpx_prevents_2;
+    Alcotest.test_case "boundless mode contains adjacent attacks" `Quick test_boundless_contains_adjacent_attacks;
+  ]
+
+(* --- the 850 -> 46 -> 16 funnel (§6.6) --- *)
+
+module Funnel = Sb_ripe.Funnel
+
+let test_funnel_claimed () =
+  Alcotest.(check int) "RIPE claims 850 working attack forms" 850
+    (Funnel.count Funnel.claimed)
+
+let test_funnel_native () =
+  Alcotest.(check int) "46 succeed on the native testbed" 46
+    (Funnel.count Funnel.native_viable)
+
+let test_funnel_sgx () =
+  Alcotest.(check int) "16 survive the move into SCONE/SGX" 16
+    (Funnel.count Funnel.sgx_viable)
+
+let test_funnel_monotone () =
+  List.iter
+    (fun f ->
+       if Funnel.sgx_viable f then Alcotest.(check bool) "sgx => native" true (Funnel.native_viable f);
+       if Funnel.native_viable f then Alcotest.(check bool) "native => claimed" true (Funnel.claimed f))
+    Funnel.all_forms
+
+let test_funnel_maps_onto_concrete_attacks () =
+  let survivors = List.filter Funnel.sgx_viable Funnel.all_forms in
+  let mapped = List.filter_map Funnel.to_concrete survivors in
+  Alcotest.(check int) "all 16 map" 16 (List.length mapped);
+  (* bijection with the executable matrix *)
+  let sorted l = List.sort compare l in
+  Alcotest.(check bool) "exactly the executable matrix" true
+    (sorted mapped = sorted Ripe.all_attacks)
+
+let test_funnel_shellcode_dies_in_sgx () =
+  List.iter
+    (fun f ->
+       if f.Funnel.code = Funnel.Shellcode then
+         Alcotest.(check bool) "no shellcode survives SGX" false (Funnel.sgx_viable f))
+    Funnel.all_forms
+
+let funnel_suite =
+  [
+    Alcotest.test_case "funnel: 850 claimed" `Quick test_funnel_claimed;
+    Alcotest.test_case "funnel: 46 native" `Quick test_funnel_native;
+    Alcotest.test_case "funnel: 16 in SGX" `Quick test_funnel_sgx;
+    Alcotest.test_case "funnel: stages are monotone" `Quick test_funnel_monotone;
+    Alcotest.test_case "funnel: survivors = executable matrix" `Quick
+      test_funnel_maps_onto_concrete_attacks;
+    Alcotest.test_case "funnel: shellcode dies on int" `Quick test_funnel_shellcode_dies_in_sgx;
+  ]
+
+let suite = suite @ funnel_suite

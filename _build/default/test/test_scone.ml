@@ -1,0 +1,158 @@
+open Helpers
+module Scone = Sb_scone.Scone
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+module Scheme = Sb_protection.Scheme
+
+let world maker =
+  let m, s = fresh maker in
+  (m, s, Scone.create s)
+
+let test_write_reaches_the_wire () =
+  let _, s, w = world sgxb in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  let buf = s.Scheme.malloc 64 in
+  Sb_libc.Simlibc.strcpy_in s ~dst:buf "hello outside";
+  ignore (Scone.write w fd ~buf ~len:13);
+  Alcotest.(check string) "wire bytes" "hello outside" (Scone.sent w fd)
+
+let test_read_delivers_fed_bytes () =
+  let _, s, w = world sgxb in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  Scone.feed w fd "request!";
+  let buf = s.Scheme.malloc 64 in
+  let n = Scone.read w fd ~buf ~len:64 in
+  Alcotest.(check int) "bytes read" 8 n;
+  Alcotest.(check string) "contents" "request!"
+    (Sb_vmem.Vmem.read_string (Memsys.vmem s.Scheme.ms) ~addr:(s.Scheme.addr_of buf) ~len:8)
+
+let test_read_consumes_queue () =
+  let _, s, w = world native in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  Scone.feed w fd "abcdef";
+  let buf = s.Scheme.malloc 16 in
+  Alcotest.(check int) "first chunk" 4 (Scone.read w fd ~buf ~len:4);
+  Alcotest.(check int) "remainder" 2 (Scone.read w fd ~buf ~len:16);
+  Alcotest.(check int) "drained" 0 (Scone.read w fd ~buf ~len:16)
+
+let test_wrapper_checks_write_length () =
+  let _, s, w = world sgxb in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  let buf = s.Scheme.malloc 16 in
+  check_detects "oversized write claim" (fun () -> ignore (Scone.write w fd ~buf ~len:64))
+
+let test_wrapper_checks_read_buffer () =
+  let _, s, w = world sgxb in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  Scone.feed w fd (String.make 64 'x');
+  let buf = s.Scheme.malloc 16 in
+  check_detects "recv overflow caught at the wrapper" (fun () ->
+      ignore (Scone.read w fd ~buf ~len:64))
+
+let test_native_wrapper_misses_recv_overflow () =
+  (* the CVE-2013-2028 ingredient: natively, a too-long recv corrupts *)
+  let _, s, w = world native in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  Scone.feed w fd (String.make 64 'x');
+  let buf = s.Scheme.malloc 16 in
+  let victim = s.Scheme.malloc 16 in
+  s.Scheme.store victim 8 7;
+  check_allows "no check natively" (fun () -> ignore (Scone.read w fd ~buf ~len:64));
+  Alcotest.(check bool) "neighbour trampled" true (s.Scheme.load victim 8 <> 7)
+
+let test_syscalls_counted () =
+  let _, s, w = world native in
+  let fd = Scone.open_channel w ~shield:Scone.No_shield in
+  let buf = s.Scheme.malloc 16 in
+  ignore (Scone.write w fd ~buf ~len:8);
+  Scone.feed w fd "zz";
+  ignore (Scone.read w fd ~buf ~len:2);
+  Alcotest.(check int) "two syscalls" 2 (Scone.syscalls w)
+
+let test_inside_costs_more_than_outside () =
+  let cost env =
+    let m = Memsys.create (Config.default ~env ()) in
+    let s = Sb_protection.Native.make m in
+    let w = Scone.create s in
+    let fd = Scone.open_channel w ~shield:Scone.No_shield in
+    let buf = s.Scheme.malloc 1024 in
+    Memsys.reset m;
+    for _ = 1 to 50 do
+      ignore (Scone.write w fd ~buf ~len:1024)
+    done;
+    (Memsys.snapshot m).Memsys.cycles
+  in
+  Alcotest.(check bool) "enclave copies + queue cost more" true
+    (cost Config.Inside_enclave > cost Config.Outside_enclave * 3 / 2)
+
+let test_shield_costs_inside_only () =
+  let cost env shield =
+    let m = Memsys.create (Config.default ~env ()) in
+    let s = Sb_protection.Native.make m in
+    let w = Scone.create s in
+    let fd = Scone.open_channel w ~shield in
+    let buf = s.Scheme.malloc 1024 in
+    Memsys.reset m;
+    for _ = 1 to 20 do
+      ignore (Scone.write w fd ~buf ~len:1024)
+    done;
+    (Memsys.snapshot m).Memsys.cycles
+  in
+  Alcotest.(check bool) "encryption shield costs inside" true
+    (cost Config.Inside_enclave Scone.Encrypted > cost Config.Inside_enclave Scone.No_shield);
+  Alcotest.(check int) "no shield cost outside"
+    (cost Config.Outside_enclave Scone.No_shield)
+    (cost Config.Outside_enclave Scone.Encrypted)
+
+let test_bad_fd_crashes () =
+  let _, s, w = world native in
+  let buf = s.Scheme.malloc 8 in
+  match Scone.write w 42 ~buf ~len:4 with
+  | _ -> Alcotest.fail "expected crash"
+  | exception Sb_protection.Types.App_crash _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "write reaches the wire" `Quick test_write_reaches_the_wire;
+    Alcotest.test_case "read delivers fed bytes" `Quick test_read_delivers_fed_bytes;
+    Alcotest.test_case "reads consume the queue" `Quick test_read_consumes_queue;
+    Alcotest.test_case "wrapper checks write length" `Quick test_wrapper_checks_write_length;
+    Alcotest.test_case "wrapper checks read buffer" `Quick test_wrapper_checks_read_buffer;
+    Alcotest.test_case "native recv overflow corrupts silently" `Quick
+      test_native_wrapper_misses_recv_overflow;
+    Alcotest.test_case "syscalls counted" `Quick test_syscalls_counted;
+    Alcotest.test_case "enclave syscalls cost more" `Quick test_inside_costs_more_than_outside;
+    Alcotest.test_case "shield costs inside only" `Quick test_shield_costs_inside_only;
+    Alcotest.test_case "bad fd crashes" `Quick test_bad_fd_crashes;
+  ]
+
+let prop_feed_read_roundtrip =
+  QCheck.Test.make ~name:"scone: fed bytes arrive intact and in order" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 8) (string_of_size Gen.(int_range 0 64)))
+    (fun chunks ->
+       let _, s, w = world native in
+       let fd = Scone.open_channel w ~shield:Scone.No_shield in
+       List.iter (fun c -> Scone.feed w fd c) chunks;
+       let total = String.concat "" chunks in
+       let buf = s.Scheme.malloc 1024 in
+       let n = Scone.read w fd ~buf ~len:1024 in
+       n = String.length total
+       && Sb_vmem.Vmem.read_string (Memsys.vmem s.Scheme.ms)
+            ~addr:(s.Scheme.addr_of buf) ~len:n
+          = total)
+
+let prop_write_preserves_bytes =
+  QCheck.Test.make ~name:"scone: written bytes reach the wire verbatim" ~count:50
+    QCheck.(string_of_size Gen.(int_range 1 128))
+    (fun payload ->
+       let _, s, w = world native in
+       let fd = Scone.open_channel w ~shield:Scone.Encrypted in
+       let buf = s.Scheme.malloc 256 in
+       Sb_vmem.Vmem.write_string (Memsys.vmem s.Scheme.ms)
+         ~addr:(s.Scheme.addr_of buf) payload;
+       ignore (Scone.write w fd ~buf ~len:(String.length payload));
+       Scone.sent w fd = payload)
+
+let props_suite = [ qtest prop_feed_read_roundtrip; qtest prop_write_preserves_bytes ]
+
+let suite = suite @ props_suite

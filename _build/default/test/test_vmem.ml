@@ -1,0 +1,205 @@
+open Helpers
+module Vmem = Sb_vmem.Vmem
+
+let create () = Vmem.create (cfg ())
+
+let test_map_returns_aligned () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:100 ~perm:Vmem.Read_write () in
+  Alcotest.(check int) "page aligned" 0 (a mod Vmem.page_size)
+
+let test_rw_widths () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+  List.iter
+    (fun (w, v) ->
+       Vmem.store vm ~addr:(a + 8) ~width:w v;
+       Alcotest.(check int) (Printf.sprintf "width %d" w) v (Vmem.load vm ~addr:(a + 8) ~width:w))
+    [ (1, 0xAB); (2, 0xBEEF); (4, 0xDEADBEEF); (8, 0x1234_5678_9ABC) ]
+
+let test_little_endian () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+  Vmem.store vm ~addr:a ~width:4 0x11223344;
+  Alcotest.(check int) "low byte first" 0x44 (Vmem.load vm ~addr:a ~width:1);
+  Alcotest.(check int) "high byte last" 0x11 (Vmem.load vm ~addr:(a + 3) ~width:1)
+
+let test_page_crossing () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:(2 * 4096) ~perm:Vmem.Read_write () in
+  let addr = a + 4096 - 3 in
+  Vmem.store vm ~addr ~width:8 0x0102030405060708;
+  Alcotest.(check int) "cross-page roundtrip" 0x0102030405060708
+    (Vmem.load vm ~addr ~width:8)
+
+let test_unmapped_faults () =
+  let vm = create () in
+  Alcotest.check_raises "unmapped load"
+    (Vmem.Fault { addr = 0x100; kind = Vmem.Unmapped })
+    (fun () -> ignore (Vmem.load vm ~addr:0x100 ~width:1))
+
+let test_guard_faults () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Guard () in
+  Alcotest.check_raises "guard hit"
+    (Vmem.Fault { addr = a; kind = Vmem.Guard_hit })
+    (fun () -> ignore (Vmem.load vm ~addr:a ~width:1))
+
+let test_readonly_faults_writes () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_only () in
+  ignore (Vmem.load vm ~addr:a ~width:1);
+  Alcotest.check_raises "ro write"
+    (Vmem.Fault { addr = a; kind = Vmem.Write_to_ro })
+    (fun () -> Vmem.store vm ~addr:a ~width:1 1)
+
+let test_protect_changes_perm () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+  Vmem.protect vm ~addr:a ~len:4096 ~perm:Vmem.Guard;
+  (match Vmem.load vm ~addr:a ~width:1 with
+   | _ -> Alcotest.fail "expected fault"
+   | exception Vmem.Fault _ -> ());
+  Vmem.protect vm ~addr:a ~len:4096 ~perm:Vmem.Read_write;
+  ignore (Vmem.load vm ~addr:a ~width:1)
+
+let test_unmap () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:8192 ~perm:Vmem.Read_write () in
+  let before = Vmem.reserved_bytes vm in
+  Vmem.unmap vm ~addr:a ~len:8192;
+  Alcotest.(check int) "reserved decreases" (before - 8192) (Vmem.reserved_bytes vm);
+  Alcotest.(check bool) "no longer mapped" false (Vmem.is_mapped vm a)
+
+let test_peak_tracking () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:8192 ~perm:Vmem.Read_write () in
+  Vmem.unmap vm ~addr:a ~len:8192;
+  ignore (Vmem.map vm ~len:4096 ~perm:Vmem.Read_write ());
+  Alcotest.(check int) "peak is high-water mark" 8192 (Vmem.peak_reserved_bytes vm)
+
+let test_oom_limit () =
+  let vm = create () in
+  let limit = (cfg ()).Sb_machine.Config.enclave_mem_limit in
+  (match Vmem.map vm ~len:(limit + 4096) ~perm:Vmem.Read_write () with
+   | _ -> Alcotest.fail "expected Enclave_oom"
+   | exception Vmem.Enclave_oom _ -> ())
+
+let test_fixed_map_overlap_rejected () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+  (match Vmem.map vm ~addr:a ~len:4096 ~perm:Vmem.Read_write () with
+   | _ -> Alcotest.fail "expected overlap rejection"
+   | exception Invalid_argument _ -> ())
+
+let test_blit_and_strings () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:8192 ~perm:Vmem.Read_write () in
+  Vmem.write_string vm ~addr:a "hello, enclave";
+  Vmem.blit vm ~src:a ~dst:(a + 4096 - 4) ~len:14;
+  Alcotest.(check string) "blit across pages" "hello, enclave"
+    (Vmem.read_string vm ~addr:(a + 4096 - 4) ~len:14)
+
+let test_blit_overlap () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+  Vmem.write_string vm ~addr:a "abcdef";
+  Vmem.blit vm ~src:a ~dst:(a + 2) ~len:6;
+  Alcotest.(check string) "memmove semantics" "ababcdef"
+    (Vmem.read_string vm ~addr:a ~len:8)
+
+let test_fill () =
+  let vm = create () in
+  let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+  Vmem.fill vm ~addr:(a + 10) ~len:20 ~byte:0x7F;
+  Alcotest.(check int) "filled" 0x7F (Vmem.load vm ~addr:(a + 29) ~width:1);
+  Alcotest.(check int) "boundary untouched" 0 (Vmem.load vm ~addr:(a + 30) ~width:1)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"vmem store/load roundtrip" ~count:200
+    QCheck.(pair (int_bound 4000) (int_bound 0xFFFF))
+    (fun (off, v) ->
+       let vm = create () in
+       let a = Vmem.map vm ~len:8192 ~perm:Vmem.Read_write () in
+       Vmem.store vm ~addr:(a + off) ~width:2 v;
+       Vmem.load vm ~addr:(a + off) ~width:2 = v)
+
+let prop_disjoint_writes =
+  QCheck.Test.make ~name:"disjoint writes do not interfere" ~count:100
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (o1, o2) ->
+       QCheck.assume (abs (o1 - o2) >= 4);
+       let vm = create () in
+       let a = Vmem.map vm ~len:8192 ~perm:Vmem.Read_write () in
+       Vmem.store vm ~addr:(a + o1) ~width:4 0xAAAAAAAA;
+       Vmem.store vm ~addr:(a + o2) ~width:4 0x55555555;
+       Vmem.load vm ~addr:(a + o1) ~width:4 = 0xAAAAAAAA)
+
+let suite =
+  [
+    Alcotest.test_case "map returns page-aligned address" `Quick test_map_returns_aligned;
+    Alcotest.test_case "store/load all widths" `Quick test_rw_widths;
+    Alcotest.test_case "little-endian layout" `Quick test_little_endian;
+    Alcotest.test_case "page-crossing access" `Quick test_page_crossing;
+    Alcotest.test_case "unmapped access faults" `Quick test_unmapped_faults;
+    Alcotest.test_case "guard page faults" `Quick test_guard_faults;
+    Alcotest.test_case "read-only write faults" `Quick test_readonly_faults_writes;
+    Alcotest.test_case "protect changes permissions" `Quick test_protect_changes_perm;
+    Alcotest.test_case "unmap releases reservation" `Quick test_unmap;
+    Alcotest.test_case "peak reserved is a high-water mark" `Quick test_peak_tracking;
+    Alcotest.test_case "enclave memory limit enforced" `Quick test_oom_limit;
+    Alcotest.test_case "fixed-address overlap rejected" `Quick test_fixed_map_overlap_rejected;
+    Alcotest.test_case "blit and string io" `Quick test_blit_and_strings;
+    Alcotest.test_case "overlapping blit is memmove" `Quick test_blit_overlap;
+    Alcotest.test_case "fill stays in range" `Quick test_fill;
+    qtest prop_roundtrip;
+    qtest prop_disjoint_writes;
+  ]
+
+(* --- additional edge cases --- *)
+
+let test_map_at_top_of_address_space () =
+  let vm = create () in
+  let top = (1 lsl Vmem.addr_bits) - Vmem.page_size in
+  let a = Vmem.map vm ~addr:top ~len:Vmem.page_size ~perm:Vmem.Read_write () in
+  Vmem.store vm ~addr:(a + Vmem.page_size - 8) ~width:8 77;
+  Alcotest.(check int) "top page usable" 77
+    (Vmem.load vm ~addr:(a + Vmem.page_size - 8) ~width:8)
+
+let test_protect_unmapped_faults () =
+  let vm = create () in
+  match Vmem.protect vm ~addr:0x200000 ~len:4096 ~perm:Vmem.Guard with
+  | () -> Alcotest.fail "expected fault"
+  | exception Vmem.Fault _ -> ()
+
+let test_negative_address_faults () =
+  let vm = create () in
+  match Vmem.load vm ~addr:(-8) ~width:4 with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Vmem.Fault _ -> ()
+
+let test_headroom_accounting () =
+  let vm = create () in
+  let before = Vmem.headroom vm in
+  ignore (Vmem.map vm ~len:8192 ~perm:Vmem.Read_write ());
+  Alcotest.(check int) "headroom shrinks by the mapping" (before - 8192) (Vmem.headroom vm)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"write_string/read_string roundtrip" ~count:100
+    QCheck.(string_of_size Gen.(int_range 0 200))
+    (fun s ->
+       let vm = create () in
+       let a = Vmem.map vm ~len:4096 ~perm:Vmem.Read_write () in
+       Vmem.write_string vm ~addr:a s;
+       Vmem.read_string vm ~addr:a ~len:(String.length s) = s)
+
+let extra_suite =
+  [
+    Alcotest.test_case "map at top of address space" `Quick test_map_at_top_of_address_space;
+    Alcotest.test_case "protect on unmapped faults" `Quick test_protect_unmapped_faults;
+    Alcotest.test_case "negative address faults" `Quick test_negative_address_faults;
+    Alcotest.test_case "headroom accounting" `Quick test_headroom_accounting;
+    qtest prop_string_roundtrip;
+  ]
+
+let suite = suite @ extra_suite

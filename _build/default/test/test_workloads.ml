@@ -1,0 +1,105 @@
+open Helpers
+module Registry = Sb_workloads.Registry
+module Wctx = Sb_workloads.Wctx
+module Memsys = Sb_sgx.Memsys
+
+(* Small working sets: these tests check that every kernel runs cleanly
+   (no false positives!) under the protecting schemes — the simulation
+   analogue of "the instrumented benchmark suite compiles and runs". *)
+let small_n (w : Registry.spec) = max 64 (w.Registry.default_n / 64)
+
+let run_kernel maker (w : Registry.spec) ~threads =
+  let m = ms () in
+  let s = maker m in
+  let ctx = Wctx.make ~threads s in
+  w.Registry.run ctx ~n:(small_n w);
+  (Memsys.snapshot m).Memsys.cycles
+
+let kernel_cases =
+  List.concat_map
+    (fun (w : Registry.spec) ->
+       [
+         Alcotest.test_case (w.Registry.name ^ " runs under native") `Quick (fun () ->
+             Alcotest.(check bool) "cycles > 0" true (run_kernel native w ~threads:1 > 0));
+         Alcotest.test_case (w.Registry.name ^ " runs clean under sgxbounds") `Quick (fun () ->
+             Alcotest.(check bool) "no violation, cycles > 0" true
+               (run_kernel sgxb w ~threads:1 > 0));
+         Alcotest.test_case (w.Registry.name ^ " runs clean under asan") `Quick (fun () ->
+             Alcotest.(check bool) "no violation" true (run_kernel asan w ~threads:1 > 0));
+       ])
+    Registry.all
+
+let mt_cases =
+  List.filter_map
+    (fun (w : Registry.spec) ->
+       if not w.Registry.multithreaded then None
+       else
+         Some
+           (Alcotest.test_case (w.Registry.name ^ " runs with 4 threads") `Quick (fun () ->
+                Alcotest.(check bool) "parallel run ok" true
+                  (run_kernel sgxb w ~threads:4 > 0))))
+    Registry.all
+
+let test_deterministic () =
+  let w = Registry.find "kmeans" in
+  let a = run_kernel sgxb w ~threads:2 and b = run_kernel sgxb w ~threads:2 in
+  Alcotest.(check int) "identical cycle counts across runs" a b
+
+let test_instrumentation_never_free () =
+  (* Every protecting scheme must cost at least as much as native. *)
+  let w = Registry.find "histogram" in
+  let base = run_kernel native w ~threads:1 in
+  List.iter
+    (fun (name, maker) ->
+       let c = run_kernel maker w ~threads:1 in
+       Alcotest.(check bool) (name ^ " >= native") true (c >= base))
+    [ ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ]
+
+let test_pointer_intensity_flag_matches_mpx_bts () =
+  (* pointer-intensive kernels make MPX allocate bounds tables;
+     flat ones keep bounds in registers (no tables) *)
+  List.iter
+    (fun name ->
+       let w = Registry.find name in
+       let m = ms () in
+       let s = mpx m in
+       let ctx = Wctx.make ~threads:1 s in
+       (match w.Registry.run ctx ~n:(small_n w) with
+        | () -> ()
+        | exception Sb_protection.Types.App_crash _ -> ());
+       let bts = s.Sb_protection.Scheme.extras.Sb_protection.Types.bts_allocated in
+       if w.Registry.pointer_intensive then
+         Alcotest.(check bool) (name ^ " allocates BTs") true (bts > 0)
+       else
+         Alcotest.(check bool) (name ^ " stays in registers") true (bts <= 1))
+    [ "pca"; "wordcount"; "mcf"; "xalancbmk"; "histogram"; "blackscholes"; "lbm" ]
+
+let test_registry_counts () =
+  Alcotest.(check int) "7 Phoenix" 7 (List.length (Registry.of_suite Registry.Phoenix));
+  Alcotest.(check int) "9 PARSEC" 9 (List.length (Registry.of_suite Registry.Parsec));
+  Alcotest.(check int) "13 SPEC" 13 (List.length (Registry.of_suite Registry.Spec))
+
+let test_registry_find_unknown () =
+  match Registry.find "quake3" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_more_threads_not_slower () =
+  (* Parallel runs must not be slower than single-threaded ones for an
+     embarrassingly parallel kernel. *)
+  let w = Registry.find "blackscholes" in
+  let t1 = run_kernel native w ~threads:1 in
+  let t4 = run_kernel native w ~threads:4 in
+  Alcotest.(check bool) "t4 < t1" true (t4 < t1)
+
+let suite =
+  kernel_cases @ mt_cases
+  @ [
+      Alcotest.test_case "runs are deterministic" `Quick test_deterministic;
+      Alcotest.test_case "instrumentation never free" `Quick test_instrumentation_never_free;
+      Alcotest.test_case "pointer-intensity flags match MPX BTs" `Quick
+        test_pointer_intensity_flag_matches_mpx_bts;
+      Alcotest.test_case "registry has 7+9+13 workloads" `Quick test_registry_counts;
+      Alcotest.test_case "unknown workload rejected" `Quick test_registry_find_unknown;
+      Alcotest.test_case "parallel runs scale" `Quick test_more_threads_not_slower;
+    ]
