@@ -4,7 +4,9 @@
 
     Examples:
       sgxbounds_cli run -w kmeans -s sgxbounds
-      sgxbounds_cli run -w mcf -s mpx --outside
+      sgxbounds_cli run -w kmeans -s sgxbounds --stats --trace out.json
+      sgxbounds_cli run -w mcf -s mpx --outside --json
+      sgxbounds_cli stats -w kmeans
       sgxbounds_cli compare -w pca -t 8
       sgxbounds_cli list *)
 
@@ -12,6 +14,23 @@ open Cmdliner
 module Harness = Sb_harness.Harness
 module Registry = Sb_workloads.Registry
 module Config = Sb_machine.Config
+module Telemetry = Sb_telemetry.Telemetry
+module Sink = Sb_telemetry.Sink
+module Json = Sb_telemetry.Json
+
+(* Unknown workload/scheme names are user errors: report them cleanly on
+   stderr (with the valid spellings) instead of an exception trace. *)
+let die fmt = Fmt.kstr (fun msg -> Fmt.epr "sgxbounds_cli: %s@." msg; exit 2) fmt
+
+let find_workload name =
+  match Registry.find_opt name with
+  | Some w -> w
+  | None ->
+    die "unknown workload '%s'.@.Valid workloads: %s" name (String.concat ", " Registry.names)
+
+let check_scheme name =
+  if Harness.maker_opt name = None then
+    die "unknown scheme '%s'.@.Valid schemes: %s" name (String.concat ", " Harness.scheme_names)
 
 let pp_outcome w = function
   | Harness.Completed m ->
@@ -39,20 +58,97 @@ let n_arg =
 let outside_arg =
   Arg.(value & flag & info [ "outside" ] ~doc:"Run outside the enclave (no EPC/MEE).")
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the per-access-class cycle attribution table and telemetry summary.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run (open at chrome://tracing or \
+                 ui.perfetto.dev). Contains phase spans and EPC fault/eviction events.")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit machine-readable JSON instead of the human summary.")
+
 let env_of outside = if outside then Config.Outside_enclave else Config.Inside_enclave
 
+(* Event ring size for traced runs: enough for the full span set plus the
+   most recent ~64k EPC events; older ones are counted as dropped. *)
+let trace_capacity = 65536
+
 let run_cmd =
-  let run workload scheme threads n outside =
-    let w = Registry.find workload in
-    let r = Harness.run_one ~env:(env_of outside) ~threads ?n ~scheme w in
-    pp_outcome (workload ^ "/" ^ scheme) r.Harness.outcome
+  let run workload scheme threads n outside stats trace json =
+    let w = find_workload workload in
+    check_scheme scheme;
+    let observing = stats || trace <> None || json in
+    let tel =
+      if observing then Telemetry.create ~capacity:trace_capacity ()
+      else Telemetry.disabled ()
+    in
+    let r = Harness.run_one ~tel ~env:(env_of outside) ~threads ?n ~scheme w in
+    (match trace with
+     | Some file ->
+       (try
+          Sink.write_chrome_trace ~process_name:(workload ^ "/" ^ scheme) file
+            (Sink.snapshot tel)
+        with Sys_error e -> die "cannot write trace: %s" e)
+     | None -> ());
+    if json then
+      let telemetry =
+        if stats then [ ("telemetry", Sink.to_json (Sink.snapshot tel)) ] else []
+      in
+      Fmt.pr "%s@."
+        (Json.to_string
+           (match Harness.json_of_result r with
+            | Json.Obj kvs -> Json.Obj (kvs @ telemetry)
+            | j -> j))
+    else begin
+      pp_outcome (workload ^ "/" ^ scheme) r.Harness.outcome;
+      if stats then begin
+        (match r.Harness.outcome with
+         | Harness.Completed m ->
+           Harness.print_attribution ~label:(workload ^ "/" ^ scheme) m
+         | Harness.Crashed _ -> ());
+        Fmt.pr "@.%a" Sink.pp_table (Sink.snapshot tel)
+      end;
+      match trace with
+      | Some file -> Fmt.pr "trace written to %s@." file
+      | None -> ()
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one scheme.")
-    Term.(const run $ workload_arg $ scheme_arg $ threads_arg $ n_arg $ outside_arg)
+    Term.(const run $ workload_arg $ scheme_arg $ threads_arg $ n_arg $ outside_arg
+          $ stats_arg $ trace_arg $ json_arg)
+
+let stats_cmd =
+  let run workload threads n outside json =
+    let w = find_workload workload in
+    let results = Harness.run_ablation ~env:(env_of outside) ~threads ?n w in
+    if json then
+      Fmt.pr "%s@." (Json.to_string (Json.List (List.map Harness.json_of_result results)))
+    else begin
+      Harness.print_ablation results;
+      List.iter
+        (fun (r : Harness.result) ->
+           match (r.Harness.scheme, r.Harness.outcome) with
+           | ("sgxbounds" | "sgxbounds-noopt"), Harness.Completed m ->
+             Harness.print_attribution ~label:(r.Harness.workload ^ "/" ^ r.Harness.scheme) m
+           | _ -> ())
+        results
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Explain a workload's overhead: run the §4.4 optimization ablation \
+             (native + all sgxbounds variants) and print per-cell cycle attribution.")
+    Term.(const run $ workload_arg $ threads_arg $ n_arg $ outside_arg $ json_arg)
 
 let compare_cmd =
   let run workload threads n outside =
-    let w = Registry.find workload in
+    let w = find_workload workload in
     let schemes = [ "native"; "sgxbounds"; "asan"; "mpx" ] in
     let results =
       List.map (fun s -> Harness.run_one ~env:(env_of outside) ~threads ?n ~scheme:s w) schemes
@@ -86,6 +182,7 @@ let list_cmd =
 
 let ripe_cmd =
   let run scheme =
+    check_scheme scheme;
     let ms = Sb_sgx.Memsys.create (Config.default ()) in
     let s = Harness.maker scheme ms in
     let results = Sb_ripe.Ripe.run_all s in
@@ -106,6 +203,7 @@ let ripe_cmd =
 
 let exploits_cmd =
   let run scheme =
+    check_scheme scheme;
     let mk () =
       let ms = Sb_sgx.Memsys.create (Config.default ()) in
       Sb_workloads.Wctx.make (Harness.maker scheme ms)
@@ -140,4 +238,6 @@ let exploits_cmd =
 
 let () =
   let info = Cmd.info "sgxbounds_cli" ~doc:"SGXBounds reproduction driver" in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd ]))

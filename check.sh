@@ -1,0 +1,52 @@
+#!/bin/sh
+# Repo health check: build, test suite, CLI smoke tests.
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+CLI="_build/default/bin/sgxbounds_cli.exe"
+
+echo "== CLI smoke: run -w kmeans -s sgxbounds --stats --json"
+out=$("$CLI" run -w kmeans -s sgxbounds --stats --json)
+
+# The JSON must parse, the run must have completed, and the attribution
+# must sum exactly to elapsed cycles (single-threaded run).
+if command -v jq >/dev/null 2>&1; then
+  echo "$out" | jq -e '.status == "completed"' >/dev/null
+  echo "$out" | jq -e '.metrics.attributed_cycles == .metrics.cycles' >/dev/null
+  echo "$out" | jq -e '.telemetry.counters | type == "object"' >/dev/null
+else
+  # jq-less fallback: at least verify the completion marker is present.
+  echo "$out" | grep -q '"status":"completed"'
+fi
+
+echo "== CLI smoke: run -w kmeans -s sgxbounds --trace"
+trace=$(mktemp /tmp/sgxbounds-trace.XXXXXX.json)
+trap 'rm -f "$trace"' EXIT
+"$CLI" run -w kmeans -s sgxbounds --trace "$trace" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.traceEvents | length > 0' "$trace" >/dev/null
+  jq -e '[.traceEvents[] | select(.name == "epc_fault")] | length > 0' "$trace" >/dev/null
+  jq -e '[.traceEvents[] | select(.ph == "X")] | length > 0' "$trace" >/dev/null
+else
+  grep -q '"traceEvents"' "$trace"
+fi
+
+echo "== CLI smoke: unknown names are clean errors"
+if "$CLI" run -w nosuchworkload -s sgxbounds >/dev/null 2>&1; then
+  echo "expected failure for unknown workload" >&2
+  exit 1
+fi
+if "$CLI" run -w kmeans -s nosuchscheme >/dev/null 2>&1; then
+  echo "expected failure for unknown scheme" >&2
+  exit 1
+fi
+
+echo "all checks passed"

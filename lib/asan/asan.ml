@@ -66,16 +66,17 @@ let ensure sh addr =
 
 let shadow_load sh addr =
   ensure sh addr;
-  Memsys.load sh.ms ~addr:(shadow_addr sh addr) ~width:1
+  Memsys.load ~cls:Memsys.Shadow sh.ms ~addr:(shadow_addr sh addr) ~width:1
 
 (* Set the shadow of [len] app bytes to [byte]; costed as shadow-range
-   traffic. *)
-let poison_range sh addr len byte =
+   traffic. [cls] lets the free path attribute its poisoning to the
+   quarantine instead. *)
+let poison_range ?(cls = Memsys.Shadow) sh addr len byte =
   if len > 0 then begin
     ensure sh addr;
     ensure sh (addr + len - 1);
     let s0 = shadow_addr sh addr and s1 = shadow_addr sh (addr + len - 1) in
-    Memsys.touch_range sh.ms ~addr:s0 ~len:(s1 - s0 + 1);
+    Memsys.touch_range ~cls sh.ms ~addr:s0 ~len:(s1 - s0 + 1);
     let vm = Memsys.vmem sh.ms in
     for a = s0 to s1 do
       Vmem.store vm ~addr:a ~width:1 byte
@@ -166,7 +167,7 @@ let make ?(opts = default_opts) ms : Scheme.t =
       if s = sh_freed then report payload Write 0 "double free"
       else begin
         let size = Sb_alloc.Freelist.chunk_size heap chunk - (2 * redzone) in
-        poison_range sh payload size sh_freed;
+        poison_range ~cls:Memsys.Quarantine sh payload size sh_freed;
         (* Quarantine: delay the real free; evict oldest beyond the cap. *)
         Queue.push (payload, size + (2 * redzone)) quar.q;
         quar.bytes <- quar.bytes + size + (2 * redzone);
@@ -211,7 +212,7 @@ let make ?(opts = default_opts) ms : Scheme.t =
       let s0 = shadow_addr sh p.v and s1 = shadow_addr sh (p.v + len - 1) in
       ensure sh p.v;
       ensure sh (p.v + len - 1);
-      Memsys.touch_range ms ~addr:s0 ~len:(s1 - s0 + 1);
+      Memsys.touch_range ~cls:Memsys.Shadow ms ~addr:s0 ~len:(s1 - s0 + 1);
       Memsys.charge_alu ms ((s1 - s0 + 1) / 8 + 2);
       let vm = Memsys.vmem ms in
       for a = p.v to p.v + len - 1 do

@@ -41,7 +41,7 @@ let make ?(region_bytes = 8 * 1024 * 1024) ms : Scheme.t =
   let set_size addr size =
     let order = Sb_machine.Util.log2_floor size in
     let n = Sb_machine.Util.ceil_div size slot in
-    Memsys.touch_range ms ~addr:(table_addr addr) ~len:n;
+    Memsys.touch_range ~cls:Memsys.Bounds_table ms ~addr:(table_addr addr) ~len:n;
     let vm = Memsys.vmem ms in
     for i = 0 to n - 1 do
       Vmem.store vm ~addr:(table_addr addr + i) ~width:1 order
@@ -58,7 +58,7 @@ let make ?(region_bytes = 8 * 1024 * 1024) ms : Scheme.t =
   let check p width access =
     extras.checks_done <- extras.checks_done + 1;
     Memsys.charge_alu ms 3;
-    let order = Memsys.load ms ~addr:(table_addr p.v) ~width:1 in
+    let order = Memsys.load ~cls:Memsys.Bounds_table ms ~addr:(table_addr p.v) ~width:1 in
     if order = 0 then
       raise
         (Violation

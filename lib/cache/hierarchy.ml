@@ -33,6 +33,12 @@ let hit_cost t = function
 
 let llc_misses t = Cache.misses t.llc
 
+type level_stats = { hits : int; misses : int }
+
+let stats t =
+  let of_cache c = { hits = Cache.hits c; misses = Cache.misses c } in
+  [ ("L1", of_cache t.l1); ("L2", of_cache t.l2); ("LLC", of_cache t.llc) ]
+
 let flush t =
   Cache.flush t.l1;
   Cache.flush t.l2;

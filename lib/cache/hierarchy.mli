@@ -22,5 +22,14 @@ val access : t -> addr:int -> served
 val hit_cost : t -> served -> int
 
 val llc_misses : t -> int
+
+(** Per-level hit/miss counters since the last [reset_stats]. A miss at
+    one level is retried (and counted again) at the next, so e.g. LLC
+    accesses = L2 misses. *)
+type level_stats = { hits : int; misses : int }
+
+(** [("L1", _); ("L2", _); ("LLC", _)], innermost first. *)
+val stats : t -> (string * level_stats) list
+
 val flush : t -> unit
 val reset_stats : t -> unit

@@ -31,16 +31,16 @@ let double_free_guard =
         no_hooks with
         on_create =
           (fun ~ms ~objbase:_ ~objsize:_ ~meta_addr ->
-             Memsys.store ms ~addr:meta_addr ~width:4 double_free_magic);
+             Memsys.store ~cls:Memsys.Footer_meta ms ~addr:meta_addr ~width:4 double_free_magic);
         on_delete =
           (fun ~ms ~meta_addr ->
-             let v = Memsys.load ms ~addr:meta_addr ~width:4 in
+             let v = Memsys.load ~cls:Memsys.Footer_meta ms ~addr:meta_addr ~width:4 in
              if v <> double_free_magic then
                raise
                  (Violation
                     { scheme = "sgxbounds"; addr = meta_addr; access = Write; width = 0;
                       lo = 0; hi = 0; reason = "double free detected by magic-number metadata" })
-             else Memsys.store ms ~addr:meta_addr ~width:4 0);
+             else Memsys.store ~cls:Memsys.Footer_meta ms ~addr:meta_addr ~width:4 0);
       };
   }
 
@@ -53,6 +53,6 @@ let origin_tracker ~site =
         no_hooks with
         on_create =
           (fun ~ms ~objbase:_ ~objsize:_ ~meta_addr ->
-             Memsys.store ms ~addr:meta_addr ~width:4 site);
+             Memsys.store ~cls:Memsys.Footer_meta ms ~addr:meta_addr ~width:4 site);
       };
   }

@@ -70,7 +70,7 @@ let make ?(opts = all_opts) ?(mode = Fail_stop) ?(plugins = []) ms : Scheme.t =
      hooks, and return the tagged word. *)
   let specify_bounds addr size =
     let ub = addr + size in
-    Memsys.store ms ~addr:ub ~width:4 addr;
+    Memsys.store ~cls:Memsys.Footer_meta ms ~addr:ub ~width:4 addr;
     Memsys.charge_alu ms 2;
     let slot = ref (ub + lb_slot_bytes) in
     List.iter
@@ -116,7 +116,7 @@ let make ?(opts = all_opts) ?(mode = Fail_stop) ?(plugins = []) ms : Scheme.t =
       (a, true)
     end
     else begin
-      let lb = Memsys.load ms ~addr:ub ~width:4 in
+      let lb = Memsys.load ~cls:Memsys.Footer_meta ms ~addr:ub ~width:4 in
       Memsys.charge_alu ms 1;
       if a < lb || a + width > ub then begin
         violate ~addr:a ~access ~width ~lo:lb ~hi:ub "bounds violated";
@@ -128,12 +128,12 @@ let make ?(opts = all_opts) ?(mode = Fail_stop) ?(plugins = []) ms : Scheme.t =
 
   let redirect_load a width =
     extras.boundless_reads <- extras.boundless_reads + 1;
-    Memsys.charge_alu ms 150; (* global lock + hash lookup: slow path *)
+    Memsys.charge_alu ~cls:Memsys.Overlay ms 150; (* global lock + hash lookup: slow path *)
     Boundless.read overlay ~addr:a ~width
   in
   let redirect_store a width v =
     extras.boundless_writes <- extras.boundless_writes + 1;
-    Memsys.charge_alu ms 150;
+    Memsys.charge_alu ~cls:Memsys.Overlay ms 150;
     Boundless.write overlay ~addr:a ~width v
   in
 
@@ -170,12 +170,13 @@ let make ?(opts = all_opts) ?(mode = Fail_stop) ?(plugins = []) ms : Scheme.t =
       (fun p len access ->
         if len > 0 then begin
         extras.checks_done <- extras.checks_done + 1;
+        extras.checks_hoisted <- extras.checks_hoisted + 1;
         Memsys.charge_alu ms 4;
         let a = Tagged.addr_of p.v and ub = Tagged.ub_of p.v in
         if ub = 0 then
           violate ~addr:a ~access ~width:len ~lo:0 ~hi:0 "dereference of untagged pointer"
         else begin
-          let lb = Memsys.load ms ~addr:ub ~width:4 in
+          let lb = Memsys.load ~cls:Memsys.Footer_meta ms ~addr:ub ~width:4 in
           if a < lb || a + len > ub then
             violate ~addr:a ~access ~width:len ~lo:lb ~hi:ub "hoisted bounds check failed"
         end
@@ -241,7 +242,7 @@ let make ?(opts = all_opts) ?(mode = Fail_stop) ?(plugins = []) ms : Scheme.t =
       extras.checks_done <- extras.checks_done + 1;
       Memsys.charge_alu ms 4;
       let a = Tagged.addr_of p.v and ub = Tagged.ub_of p.v in
-      let lb = if ub = 0 then 0 else Memsys.load ms ~addr:ub ~width:4 in
+      let lb = if ub = 0 then 0 else Memsys.load ~cls:Memsys.Footer_meta ms ~addr:ub ~width:4 in
       if ub = 0 || a < lb || a + len > ub then begin
         extras.violations <- extras.violations + 1;
         raise

@@ -11,6 +11,8 @@ module Config = Sb_machine.Config
 module Memsys = Sb_sgx.Memsys
 module Vmem = Sb_vmem.Vmem
 module Scheme = Sb_protection.Scheme
+module Telemetry = Sb_telemetry.Telemetry
+module Json = Sb_telemetry.Json
 open Sb_protection.Types
 
 type metrics = {
@@ -19,9 +21,19 @@ type metrics = {
   mem_accesses : int;
   llc_misses : int;
   epc_faults : int;
+  epc_evictions : int;
   peak_vm : int;
   bts : int;
   quarantine : int;
+  (* cycle attribution: where the time went (paper Figures 2/9/10) *)
+  attribution : (Memsys.access_class * Memsys.class_stat) list;
+  compute_cycles : int;
+  cache : (string * Sb_cache.Hierarchy.level_stats) list;
+  (* instrumentation activity of the scheme (§4.4 ablation) *)
+  checks_done : int;
+  checks_elided : int;
+  checks_hoisted : int;
+  violations : int;
 }
 
 type outcome =
@@ -56,39 +68,63 @@ let makers : (string * (Memsys.t -> Scheme.t)) list =
     ("baggy", fun m -> Sb_baggy.Baggy.make ~region_bytes:(16 * 1024 * 1024) m);
   ]
 
-let maker name =
-  match List.assoc_opt name makers with
-  | Some m -> m
-  | None -> invalid_arg (Printf.sprintf "Harness.maker: unknown scheme %S" name)
+let scheme_names = List.map fst makers
 
-(** Run one (workload, scheme, environment) cell on a fresh machine. *)
-let run_one ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
+let maker_opt name = List.assoc_opt name makers
+
+let maker name =
+  match maker_opt name with
+  | Some m -> m
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Harness.maker: unknown scheme %S (valid schemes: %s)" name
+         (String.concat ", " scheme_names))
+
+(** Run one (workload, scheme, environment) cell on a fresh machine.
+    [tel] (default: disabled) collects spans, EPC events and access-cost
+    histograms for the run; the workload body executes inside a
+    ["run:<workload>/<scheme>"] phase span. *)
+let run_one ?tel ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
     (w : Sb_workloads.Registry.spec) =
   let n = Option.value n ~default:w.Sb_workloads.Registry.default_n in
   let cfg = Config.default ~env () in
-  let ms = Memsys.create cfg in
-  let s = maker scheme ms in
+  let ms = Memsys.create ?tel cfg in
+  let tel = Memsys.telemetry ms in
+  let s = Telemetry.with_span tel ("setup:" ^ scheme) (fun () -> maker scheme ms) in
   let ctx = Sb_workloads.Wctx.make ~threads s in
+  let workload = w.Sb_workloads.Registry.name in
+  let collect () =
+    let snap = Memsys.snapshot ms in
+    {
+      cycles = snap.Memsys.cycles;
+      instrs = snap.Memsys.instrs;
+      mem_accesses = snap.Memsys.mem_accesses;
+      llc_misses = snap.Memsys.llc_misses;
+      epc_faults = snap.Memsys.epc_faults;
+      epc_evictions = Memsys.epc_evictions ms;
+      peak_vm = Vmem.peak_reserved_bytes (Memsys.vmem ms);
+      bts = s.Scheme.extras.bts_allocated;
+      quarantine = s.Scheme.extras.quarantine_bytes;
+      attribution = Memsys.attribution ms;
+      compute_cycles = Memsys.compute_cycles ms;
+      cache = Memsys.cache_stats ms;
+      checks_done = s.Scheme.extras.checks_done;
+      checks_elided = s.Scheme.extras.checks_elided;
+      checks_hoisted = s.Scheme.extras.checks_hoisted;
+      violations = s.Scheme.extras.violations;
+    }
+  in
   let outcome =
-    match w.Sb_workloads.Registry.run ctx ~n with
-    | () ->
-      let snap = Memsys.snapshot ms in
-      Completed
-        {
-          cycles = snap.Memsys.cycles;
-          instrs = snap.Memsys.instrs;
-          mem_accesses = snap.Memsys.mem_accesses;
-          llc_misses = snap.Memsys.llc_misses;
-          epc_faults = snap.Memsys.epc_faults;
-          peak_vm = Vmem.peak_reserved_bytes (Memsys.vmem ms);
-          bts = s.Scheme.extras.bts_allocated;
-          quarantine = s.Scheme.extras.quarantine_bytes;
-        }
+    match
+      Telemetry.with_span tel ("run:" ^ workload ^ "/" ^ scheme) (fun () ->
+          w.Sb_workloads.Registry.run ctx ~n)
+    with
+    | () -> Completed (collect ())
     | exception App_crash msg -> Crashed msg
     | exception Vmem.Enclave_oom _ -> Crashed "enclave out of memory"
     | exception Violation v -> Crashed (Fmt.str "%a" pp_violation v)
   in
-  { scheme; workload = w.Sb_workloads.Registry.name; n; threads; env; outcome }
+  { scheme; workload; n; threads; env; outcome }
 
 let metrics_exn r =
   match r.outcome with
@@ -134,3 +170,138 @@ let print_ratio_table ~title ~rows ~columns ~cell () =
 let gmean_column ~rows ~cell ~col =
   let vals = List.filter_map (fun row -> cell ~row ~col) rows in
   if vals = [] then None else Some (Sb_machine.Util.geomean vals)
+
+(* ---------- cycle attribution (Figures 2/9/10, explained) ---------- *)
+
+(** Attribution rows of [m]: every access class plus the compute bucket,
+    as [(label, cycles, accesses)]. The cycles column re-adds to
+    [m.cycles] for single-threaded runs (see {!Sb_sgx.Memsys}). *)
+let attribution_rows m =
+  List.map
+    (fun (c, (st : Memsys.class_stat)) -> (Memsys.class_name c, st.Memsys.cycles, st.Memsys.accesses))
+    m.attribution
+  @ [ ("compute", m.compute_cycles, 0) ]
+
+let attributed_total m =
+  List.fold_left (fun acc (_, cy, _) -> acc + cy) 0 (attribution_rows m)
+
+(** Per-access-class cycle attribution of one completed cell. *)
+let print_attribution ~label m =
+  let total = attributed_total m in
+  let pct cy = 100.0 *. float_of_int cy /. float_of_int (max 1 total) in
+  Fmt.pr "@.cycle attribution — %s@." label;
+  Fmt.pr "  %-14s %14s %7s %14s@." "class" "cycles" "%" "accesses";
+  List.iter
+    (fun (name, cy, acc) ->
+       Fmt.pr "  %-14s %14d %6.1f%% %14d@." name cy (pct cy) acc)
+    (attribution_rows m);
+  Fmt.pr "  %-14s %14d %6.1f%%@." "total" total 100.0;
+  if total <> m.cycles then
+    Fmt.pr "  (elapsed %d cycles: parallel region, elapsed = max over threads)@." m.cycles;
+  Fmt.pr "  checks: %d executed, %d elided, %d hoisted; violations: %d@." m.checks_done
+    m.checks_elided m.checks_hoisted m.violations;
+  List.iter
+    (fun (lvl, (st : Sb_cache.Hierarchy.level_stats)) ->
+       Fmt.pr "  %-4s %d hits / %d misses@." lvl st.Sb_cache.Hierarchy.hits
+         st.Sb_cache.Hierarchy.misses)
+    m.cache;
+  Fmt.pr "  EPC: %d faults, %d evictions@." m.epc_faults m.epc_evictions
+
+(** The §4.4 optimization ablation of Figure 10, with the overhead of
+    each variant *attributed*: which access class an optimization
+    removes cycles from, and what it does to the check counts. *)
+let ablation_schemes =
+  [ "native"; "sgxbounds-noopt"; "sgxbounds-safe"; "sgxbounds-hoist"; "sgxbounds" ]
+
+let run_ablation ?env ?threads ?n (w : Sb_workloads.Registry.spec) =
+  List.map (fun scheme -> run_one ?env ?threads ?n ~scheme w) ablation_schemes
+
+let print_ablation (results : result list) =
+  match results with
+  | [] -> ()
+  | r0 :: _ ->
+    Fmt.pr "@.overhead attribution — %s (n=%d)@." r0.workload r0.n;
+    Fmt.pr "%-18s %9s %12s %12s %12s %12s %10s %10s %8s@." "scheme" "overhead" "cycles"
+      "data" "footer_meta" "compute" "checks" "elided" "hoisted";
+    let base =
+      List.find_opt (fun r -> r.scheme = "native") results
+      |> Option.map (fun r -> metrics_exn r)
+    in
+    List.iter
+      (fun r ->
+         match r.outcome with
+         | Crashed msg -> Fmt.pr "%-18s CRASHED: %s@." r.scheme msg
+         | Completed m ->
+           let cls c =
+             match List.assoc_opt c m.attribution with
+             | Some (st : Memsys.class_stat) -> st.Memsys.cycles
+             | None -> 0
+           in
+           let overhead =
+             match base with
+             | Some b -> Fmt.str "%.2fx" (float_of_int m.cycles /. float_of_int (max 1 b.cycles))
+             | None -> "-"
+           in
+           Fmt.pr "%-18s %9s %12d %12d %12d %12d %10d %10d %8d@." r.scheme overhead
+             m.cycles (cls Memsys.Data) (cls Memsys.Footer_meta) m.compute_cycles
+             m.checks_done m.checks_elided m.checks_hoisted)
+      results
+
+(* ---------- JSON export ---------- *)
+
+let json_of_metrics m =
+  Json.Obj
+    [
+      ("cycles", Json.Int m.cycles);
+      ("instrs", Json.Int m.instrs);
+      ("mem_accesses", Json.Int m.mem_accesses);
+      ("llc_misses", Json.Int m.llc_misses);
+      ("epc_faults", Json.Int m.epc_faults);
+      ("epc_evictions", Json.Int m.epc_evictions);
+      ("peak_vm", Json.Int m.peak_vm);
+      ("bts_allocated", Json.Int m.bts);
+      ("quarantine_bytes", Json.Int m.quarantine);
+      ( "attribution",
+        Json.Obj
+          (List.map
+             (fun (name, cy, acc) ->
+                (name, Json.Obj [ ("cycles", Json.Int cy); ("accesses", Json.Int acc) ]))
+             (attribution_rows m)) );
+      ("attributed_cycles", Json.Int (attributed_total m));
+      ( "cache",
+        Json.Obj
+          (List.map
+             (fun (lvl, (st : Sb_cache.Hierarchy.level_stats)) ->
+                ( lvl,
+                  Json.Obj
+                    [
+                      ("hits", Json.Int st.Sb_cache.Hierarchy.hits);
+                      ("misses", Json.Int st.Sb_cache.Hierarchy.misses);
+                    ] ))
+             m.cache) );
+      ( "checks",
+        Json.Obj
+          [
+            ("executed", Json.Int m.checks_done);
+            ("elided", Json.Int m.checks_elided);
+            ("hoisted", Json.Int m.checks_hoisted);
+          ] );
+      ("violations", Json.Int m.violations);
+    ]
+
+let json_of_result (r : result) =
+  let outcome =
+    match r.outcome with
+    | Completed m -> [ ("status", Json.Str "completed"); ("metrics", json_of_metrics m) ]
+    | Crashed msg -> [ ("status", Json.Str "crashed"); ("reason", Json.Str msg) ]
+  in
+  Json.Obj
+    ([
+      ("workload", Json.Str r.workload);
+      ("scheme", Json.Str r.scheme);
+      ("n", Json.Int r.n);
+      ("threads", Json.Int r.threads);
+      ( "env",
+        Json.Str (match r.env with Config.Inside_enclave -> "enclave" | Config.Outside_enclave -> "native") );
+    ]
+     @ outcome)

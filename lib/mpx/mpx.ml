@@ -52,7 +52,7 @@ let bt_entry_addr st bt_base addr =
 let get_bt st addr =
   let i = bd_index addr in
   (* BD entry load. *)
-  Memsys.touch st.ms ~addr:(st.bd_base + (i * 8)) ~width:8;
+  Memsys.touch ~cls:Memsys.Bounds_table st.ms ~addr:(st.bd_base + (i * 8)) ~width:8;
   match Hashtbl.find_opt st.bts i with
   | Some b -> b
   | None ->
@@ -64,24 +64,24 @@ let get_bt st addr =
       with Vmem.Enclave_oom _ ->
         raise (App_crash "MPX: out of enclave memory while allocating a bounds table")
     in
-    Memsys.charge_alu st.ms 3000;
-    Memsys.store st.ms ~addr:(st.bd_base + (i * 8)) ~width:8 b;
+    Memsys.charge_alu ~cls:Memsys.Bounds_table st.ms 3000;
+    Memsys.store ~cls:Memsys.Bounds_table st.ms ~addr:(st.bd_base + (i * 8)) ~width:8 b;
     Hashtbl.replace st.bts i b;
     st.extras.bts_allocated <- st.extras.bts_allocated + 1;
     b
 
 let bndstx st ~loc ~value ~bnd =
   let bt = get_bt st loc in
-  Memsys.touch st.ms ~addr:(bt_entry_addr st bt loc) ~width:16;
-  Memsys.charge_alu st.ms 30; (* microcoded translate, spills, entry write *)
+  Memsys.touch ~cls:Memsys.Bounds_table st.ms ~addr:(bt_entry_addr st bt loc) ~width:16;
+  Memsys.charge_alu ~cls:Memsys.Bounds_table st.ms 30; (* microcoded translate, spills, entry write *)
   match bnd with
   | Some b -> Hashtbl.replace st.entries loc (value, b)
   | None -> Hashtbl.remove st.entries loc
 
 let bndldx st ~loc ~value =
   let bt = get_bt st loc in
-  Memsys.touch st.ms ~addr:(bt_entry_addr st bt loc) ~width:16;
-  Memsys.charge_alu st.ms 30; (* microcoded translate, spills, entry read + compare *)
+  Memsys.touch ~cls:Memsys.Bounds_table st.ms ~addr:(bt_entry_addr st bt loc) ~width:16;
+  Memsys.charge_alu ~cls:Memsys.Bounds_table st.ms 30; (* microcoded translate, spills, entry read + compare *)
   match Hashtbl.find_opt st.entries loc with
   | Some (recorded, b) when recorded = value -> Some b
   | Some _ | None -> None (* pointer modified behind MPX's back: INIT bounds *)

@@ -50,6 +50,7 @@ type extras = {
   mutable violations : int;           (** violations observed (boundless mode) *)
   mutable checks_elided : int;        (** checks removed by optimizations *)
   mutable checks_done : int;          (** bounds checks executed *)
+  mutable checks_hoisted : int;       (** range checks hoisted out of loops (§4.4) *)
 }
 
 let fresh_extras () = {
@@ -61,6 +62,7 @@ let fresh_extras () = {
   violations = 0;
   checks_elided = 0;
   checks_done = 0;
+  checks_hoisted = 0;
 }
 
 let pp_access ppf = function

@@ -1,3 +1,7 @@
+type event =
+  | Fault of { page : int }              (** page loaded + decrypted into the EPC *)
+  | Evict of { page : int; slot : int }  (** victim re-encrypted and written back *)
+
 type t = {
   capacity : int;
   slots : int array;            (* page number per slot, -1 = free *)
@@ -6,6 +10,8 @@ type t = {
   mutable hand : int;
   mutable used : int;
   mutable faults : int;
+  mutable evictions : int;
+  mutable tracer : (event -> unit) option;
 }
 
 let create ~capacity_pages =
@@ -18,7 +24,13 @@ let create ~capacity_pages =
     hand = 0;
     used = 0;
     faults = 0;
+    evictions = 0;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
 let touch t ~page =
   match Hashtbl.find_opt t.index page with
@@ -46,19 +58,26 @@ let touch t ~page =
           else s
         in
         let s = sweep () in
+        t.evictions <- t.evictions + 1;
+        emit t (Evict { page = t.slots.(s); slot = s });
         Hashtbl.remove t.index t.slots.(s);
         s
       end
     in
+    emit t (Fault { page });
     t.slots.(slot) <- page;
     Bytes.set t.refbit slot '\001';
     Hashtbl.replace t.index page slot;
     false
 
 let faults t = t.faults
+let evictions t = t.evictions
 let resident_pages t = t.used
 let capacity_pages t = t.capacity
-let reset_stats t = t.faults <- 0
+
+let reset_stats t =
+  t.faults <- 0;
+  t.evictions <- 0
 
 let clear t =
   Array.fill t.slots 0 t.capacity (-1);
@@ -66,4 +85,5 @@ let clear t =
   Hashtbl.reset t.index;
   t.hand <- 0;
   t.used <- 0;
-  t.faults <- 0
+  t.faults <- 0;
+  t.evictions <- 0

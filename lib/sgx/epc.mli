@@ -13,7 +13,19 @@
 
 type t
 
+(** Paging events, for the telemetry event ring. An eviction always
+    implies the re-encryption of the victim page (SGX pages leave the
+    EPC encrypted); the fault that triggered it follows immediately. *)
+type event =
+  | Fault of { page : int }              (** page loaded + decrypted into the EPC *)
+  | Evict of { page : int; slot : int }  (** victim re-encrypted and written back *)
+
 val create : capacity_pages:int -> t
+
+(** Install (or remove, with [None]) an event callback. The memory
+    system wires this to its telemetry hub only when tracing is on, so
+    the paging fast path stays callback-free by default. *)
+val set_tracer : t -> (event -> unit) option -> unit
 
 (** [touch t ~page] notes an access to virtual page number [page].
     Returns [true] if it was resident (no fault). On a fault the page
@@ -21,6 +33,7 @@ val create : capacity_pages:int -> t
 val touch : t -> page:int -> bool
 
 val faults : t -> int
+val evictions : t -> int
 val resident_pages : t -> int
 val capacity_pages : t -> int
 val reset_stats : t -> unit

@@ -1,6 +1,39 @@
 module Config = Sb_machine.Config
 module Vmem = Sb_vmem.Vmem
 module Hierarchy = Sb_cache.Hierarchy
+module Telemetry = Sb_telemetry.Telemetry
+
+type access_class =
+  | Data
+  | Footer_meta
+  | Shadow
+  | Bounds_table
+  | Quarantine
+  | Overlay
+
+let all_classes = [ Data; Footer_meta; Shadow; Bounds_table; Quarantine; Overlay ]
+let n_classes = 6
+
+let class_index = function
+  | Data -> 0
+  | Footer_meta -> 1
+  | Shadow -> 2
+  | Bounds_table -> 3
+  | Quarantine -> 4
+  | Overlay -> 5
+
+let class_name = function
+  | Data -> "data"
+  | Footer_meta -> "footer_meta"
+  | Shadow -> "shadow"
+  | Bounds_table -> "bounds_table"
+  | Quarantine -> "quarantine"
+  | Overlay -> "overlay"
+
+type class_stat = {
+  accesses : int;
+  cycles : int;
+}
 
 type snapshot = {
   cycles : int;
@@ -15,10 +48,21 @@ type t = {
   vmem : Vmem.t;
   hier : Hierarchy.t;
   epc : Epc.t option;
+  tel : Telemetry.t;
   clocks : int array;
   mutable tid : int;
   mutable instrs : int;
   mutable mem_accesses : int;
+  (* Cycle attribution: every cycle that enters [clocks] is also charged
+     to exactly one bucket — a memory access class or [compute_cycles] —
+     so the per-class breakdown always re-adds to the total (per
+     thread; a parallel region's elapsed time is the max, not the sum). *)
+  cls_accesses : int array;
+  cls_cycles : int array;
+  mutable compute_cycles : int;
+  (* Per-class access-cost histograms, pre-resolved so the hot path does
+     no hashtable lookups; None when telemetry is off. *)
+  cost_hists : Sb_telemetry.Metrics.Histogram.t array option;
   mutable yield_countdown : int;
   line_mask : int;
   dram_cost : int;          (* cost of a DRAM access in the current env *)
@@ -27,7 +71,8 @@ type t = {
 
 let yield_quantum = 32
 
-let create (cfg : Config.t) =
+let create ?tel (cfg : Config.t) =
+  let tel = match tel with Some t -> t | None -> Telemetry.disabled () in
   let epc =
     match cfg.env with
     | Config.Inside_enclave ->
@@ -39,22 +84,56 @@ let create (cfg : Config.t) =
     | Config.Inside_enclave -> cfg.costs.dram * (100 + cfg.costs.mee_percent) / 100
     | Config.Outside_enclave -> cfg.costs.dram
   in
-  {
-    cfg;
-    vmem = Vmem.create cfg;
-    hier = Hierarchy.create cfg;
-    epc;
-    clocks = Array.make cfg.max_threads 0;
-    tid = 0;
-    instrs = 0;
-    mem_accesses = 0;
-    yield_countdown = yield_quantum;
-    line_mask = lnot (cfg.line_size - 1);
-    dram_cost;
-  }
+  let cost_hists =
+    if Telemetry.is_enabled tel then
+      Some
+        (Array.of_list
+           (List.map
+              (fun c -> Telemetry.histogram tel ("access_cycles:" ^ class_name c))
+              all_classes))
+    else None
+  in
+  let t =
+    {
+      cfg;
+      vmem = Vmem.create cfg;
+      hier = Hierarchy.create cfg;
+      epc;
+      tel;
+      clocks = Array.make cfg.max_threads 0;
+      tid = 0;
+      instrs = 0;
+      mem_accesses = 0;
+      cls_accesses = Array.make n_classes 0;
+      cls_cycles = Array.make n_classes 0;
+      compute_cycles = 0;
+      cost_hists;
+      yield_countdown = yield_quantum;
+      line_mask = lnot (cfg.line_size - 1);
+      dram_cost;
+    }
+  in
+  Telemetry.set_clock tel (fun () -> t.clocks.(t.tid));
+  Telemetry.set_tid tel (fun () -> t.tid);
+  (match epc with
+   | Some e when Telemetry.is_enabled tel ->
+     Epc.set_tracer e
+       (Some
+          (function
+            | Epc.Fault { page } ->
+              Telemetry.event tel ~cat:"epc" ~args:[ ("page", Printf.sprintf "0x%x" page) ]
+                "epc_fault"
+            | Epc.Evict { page; slot } ->
+              Telemetry.event tel ~cat:"epc"
+                ~args:
+                  [ ("page", Printf.sprintf "0x%x" page); ("slot", string_of_int slot) ]
+                "epc_evict"))
+   | _ -> ());
+  t
 
 let cfg t = t.cfg
 let vmem t = t.vmem
+let telemetry t = t.tel
 
 let maybe_yield t =
   t.yield_countdown <- t.yield_countdown - 1;
@@ -74,15 +153,23 @@ let line_cost t addr =
        if Epc.touch epc ~page:(addr lsr 12) then c else c + t.cfg.costs.epc_fault)
   | served -> Hierarchy.hit_cost t.hier served
 
-let touch t ~addr ~width =
+let charge_access t ci cost =
+  t.cls_accesses.(ci) <- t.cls_accesses.(ci) + 1;
+  t.cls_cycles.(ci) <- t.cls_cycles.(ci) + cost;
+  t.clocks.(t.tid) <- t.clocks.(t.tid) + cost;
+  (match t.cost_hists with
+   | None -> ()
+   | Some hs -> Sb_telemetry.Metrics.Histogram.observe hs.(ci) cost);
+  maybe_yield t
+
+let touch ?(cls = Data) t ~addr ~width =
   t.mem_accesses <- t.mem_accesses + 1;
   let first = addr land t.line_mask in
   let last = (addr + width - 1) land t.line_mask in
   let cost = if first = last then line_cost t addr else line_cost t addr + line_cost t (addr + width - 1) in
-  t.clocks.(t.tid) <- t.clocks.(t.tid) + cost;
-  maybe_yield t
+  charge_access t (class_index cls) cost
 
-let touch_range t ~addr ~len =
+let touch_range ?(cls = Data) t ~addr ~len =
   if len > 0 then begin
     let line = t.cfg.line_size in
     let first = addr land t.line_mask in
@@ -95,31 +182,38 @@ let touch_range t ~addr ~len =
       incr n;
       a := !a + line
     done;
+    let ci = class_index cls in
     t.mem_accesses <- t.mem_accesses + !n;
-    t.clocks.(t.tid) <- t.clocks.(t.tid) + !cost;
-    maybe_yield t
+    t.cls_accesses.(ci) <- t.cls_accesses.(ci) + !n - 1;  (* charge_access adds 1 *)
+    charge_access t ci !cost
   end
 
-let load t ~addr ~width =
-  touch t ~addr ~width;
+let load ?cls t ~addr ~width =
+  touch ?cls t ~addr ~width;
   Vmem.load t.vmem ~addr ~width
 
-let store t ~addr ~width v =
-  touch t ~addr ~width;
+let store ?cls t ~addr ~width v =
+  touch ?cls t ~addr ~width;
   Vmem.store t.vmem ~addr ~width v
 
-let blit t ~src ~dst ~len =
-  touch_range t ~addr:src ~len;
-  touch_range t ~addr:dst ~len;
+let blit ?cls t ~src ~dst ~len =
+  touch_range ?cls t ~addr:src ~len;
+  touch_range ?cls t ~addr:dst ~len;
   Vmem.blit t.vmem ~src ~dst ~len
 
-let fill t ~addr ~len ~byte =
-  touch_range t ~addr ~len;
+let fill ?cls t ~addr ~len ~byte =
+  touch_range ?cls t ~addr ~len;
   Vmem.fill t.vmem ~addr ~len ~byte
 
-let charge_alu t n =
+let charge_alu ?cls t n =
   t.instrs <- t.instrs + n;
-  t.clocks.(t.tid) <- t.clocks.(t.tid) + (n * t.cfg.costs.alu)
+  let c = n * t.cfg.costs.alu in
+  (match cls with
+   | None -> t.compute_cycles <- t.compute_cycles + c
+   | Some cl ->
+     let ci = class_index cl in
+     t.cls_cycles.(ci) <- t.cls_cycles.(ci) + c);
+  t.clocks.(t.tid) <- t.clocks.(t.tid) + c
 
 let set_thread t tid = t.tid <- tid
 let current_thread t = t.tid
@@ -137,14 +231,33 @@ let snapshot t =
     epc_faults = (match t.epc with None -> 0 | Some e -> Epc.faults e);
   }
 
+let attribution t =
+  List.map
+    (fun c ->
+       let i = class_index c in
+       (c, { accesses = t.cls_accesses.(i); cycles = t.cls_cycles.(i) }))
+    all_classes
+
+let compute_cycles t = t.compute_cycles
+
+let attributed_cycles t =
+  Array.fold_left ( + ) t.compute_cycles t.cls_cycles
+
+let cache_stats t = Hierarchy.stats t.hier
+
 let reset t =
   Array.fill t.clocks 0 (Array.length t.clocks) 0;
   t.tid <- 0;
   t.instrs <- 0;
   t.mem_accesses <- 0;
+  Array.fill t.cls_accesses 0 n_classes 0;
+  Array.fill t.cls_cycles 0 n_classes 0;
+  t.compute_cycles <- 0;
   Hierarchy.flush t.hier;
   Hierarchy.reset_stats t.hier;
+  Telemetry.reset t.tel;
   match t.epc with None -> () | Some e -> Epc.clear e
 
 let epc_faults t = match t.epc with None -> 0 | Some e -> Epc.faults e
+let epc_evictions t = match t.epc with None -> 0 | Some e -> Epc.evictions e
 let llc_misses t = Hierarchy.llc_misses t.hier

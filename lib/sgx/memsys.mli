@@ -9,9 +9,42 @@
     mechanism behind all of the paper's performance results.
 
     Cycle accounting is per-thread (see {!Sb_mt}); elapsed time of a
-    parallel region is the max over its threads. *)
+    parallel region is the max over its threads.
+
+    {b Attribution.} Every access carries an {!access_class}; the memory
+    system keeps per-class access and cycle counters so runs can be
+    explained, not just totalled: how much of the overhead is metadata
+    traffic vs. bounds arithmetic vs. EPC paging (the paper's Figures 2,
+    9, 10). In a single-threaded run the class cycles plus
+    [compute_cycles] re-add exactly to [snapshot.cycles]; across a
+    parallel region elapsed time is the max over threads while the
+    attribution keeps per-thread charges, so the sum then bounds the
+    elapsed time from above. *)
 
 type t
+
+(** What an access is *for* — the taxonomy of the overhead-attribution
+    tables. [Data] is application traffic; the rest is instrumentation
+    metadata: SGXBounds' lower-bound footers and metadata-plugin slots
+    ([Footer_meta]), ASan's shadow bytes ([Shadow]), MPX bounds
+    directory/tables and Baggy's size table ([Bounds_table]), ASan's
+    delayed-reuse bookkeeping ([Quarantine]) and boundless-memory
+    overlay traffic ([Overlay], §4.2). *)
+type access_class =
+  | Data
+  | Footer_meta
+  | Shadow
+  | Bounds_table
+  | Quarantine
+  | Overlay
+
+val all_classes : access_class list
+val class_name : access_class -> string
+
+type class_stat = {
+  accesses : int;  (** memory operations charged to the class *)
+  cycles : int;    (** cycles charged to the class (incl. classed ALU work) *)
+}
 
 type snapshot = {
   cycles : int;        (** elapsed cycles (max over thread clocks) *)
@@ -21,30 +54,44 @@ type snapshot = {
   epc_faults : int;
 }
 
-val create : Sb_machine.Config.t -> t
+(** [create ?tel cfg] — [tel] defaults to a disabled hub
+    ({!Sb_telemetry.Telemetry.disabled}): counters in this module are
+    always maintained (plain array increments), but histograms and the
+    event ring only record when [tel] is enabled. The hub's clock is
+    pointed at the current simulated thread's cycle counter, and EPC
+    fault/eviction events are wired into its event ring. *)
+val create : ?tel:Sb_telemetry.Telemetry.t -> Sb_machine.Config.t -> t
+
 val cfg : t -> Sb_machine.Config.t
 val vmem : t -> Sb_vmem.Vmem.t
+val telemetry : t -> Sb_telemetry.Telemetry.t
 
-(** {2 Costed data accesses} *)
+(** {2 Costed data accesses}
 
-val load : t -> addr:int -> width:int -> int
-val store : t -> addr:int -> width:int -> int -> unit
+    [cls] defaults to [Data]; schemes pass the class of their metadata
+    traffic. *)
+
+val load : ?cls:access_class -> t -> addr:int -> width:int -> int
+val store : ?cls:access_class -> t -> addr:int -> width:int -> int -> unit
 
 (** Charge the cost of an access without transferring data (used for
     metadata whose value the simulator keeps elsewhere). *)
-val touch : t -> addr:int -> width:int -> unit
+val touch : ?cls:access_class -> t -> addr:int -> width:int -> unit
 
 (** Touch every cache line in [addr, addr+len). *)
-val touch_range : t -> addr:int -> len:int -> unit
+val touch_range : ?cls:access_class -> t -> addr:int -> len:int -> unit
 
 (** Costed memmove inside simulated memory. *)
-val blit : t -> src:int -> dst:int -> len:int -> unit
+val blit : ?cls:access_class -> t -> src:int -> dst:int -> len:int -> unit
 
 (** Costed memset. *)
-val fill : t -> addr:int -> len:int -> byte:int -> unit
+val fill : ?cls:access_class -> t -> addr:int -> len:int -> byte:int -> unit
 
-(** Charge [n] simple ALU instructions to the current thread. *)
-val charge_alu : t -> int -> unit
+(** Charge [n] simple ALU instructions to the current thread. With
+    [cls], the cycles are attributed to that access class (e.g. the
+    boundless overlay's lock + hash slow path) instead of the default
+    compute bucket. *)
+val charge_alu : ?cls:access_class -> t -> int -> unit
 
 (** {2 Thread clocks} *)
 
@@ -57,9 +104,25 @@ val set_clock : t -> int -> int -> unit
 
 val snapshot : t -> snapshot
 
-(** Reset clocks, stats, cache contents and EPC residency — a fresh run
-    on the same address space contents. *)
+(** Per-class access/cycle counters, in [all_classes] order. *)
+val attribution : t -> (access_class * class_stat) list
+
+(** Cycles charged by unclassed [charge_alu] — application and
+    instrumentation arithmetic. *)
+val compute_cycles : t -> int
+
+(** Total cycles charged to any bucket: class cycles + compute. Equal to
+    [snapshot.cycles] for single-threaded runs. *)
+val attributed_cycles : t -> int
+
+(** Per-level cache hit/miss counters ([("L1", _); ("L2", _); ("LLC", _)]). *)
+val cache_stats : t -> (string * Sb_cache.Hierarchy.level_stats) list
+
+(** Reset clocks, stats, attribution, telemetry (counters, histograms,
+    event ring), cache contents and EPC residency — a fresh run on the
+    same address space contents. *)
 val reset : t -> unit
 
 val epc_faults : t -> int
+val epc_evictions : t -> int
 val llc_misses : t -> int

@@ -1,0 +1,55 @@
+(** Bounded event ring buffer.
+
+    Holds the most recent [capacity] events; older ones are overwritten
+    and counted in [dropped]. Timestamps are simulated cycles, [tid] is
+    the simulated thread — both map directly onto Chrome's
+    [trace_event] fields (see {!Sink.chrome_trace}). *)
+
+type phase =
+  | Instant                   (** point event (EPC fault, violation) *)
+  | Complete of int           (** span with duration in cycles *)
+
+type event = {
+  ts : int;                   (** simulated-cycle timestamp (span start) *)
+  tid : int;                  (** simulated thread *)
+  name : string;
+  cat : string;               (** coarse category, e.g. "epc", "phase" *)
+  ph : phase;
+  args : (string * string) list;
+}
+
+type ring = {
+  capacity : int;
+  buf : event array;
+  mutable len : int;
+  mutable head : int;         (* next write position *)
+  mutable dropped : int;
+}
+
+let dummy = { ts = 0; tid = 0; name = ""; cat = ""; ph = Instant; args = [] }
+
+let create ~capacity =
+  let capacity = max 0 capacity in
+  { capacity; buf = Array.make (max 1 capacity) dummy; len = 0; head = 0; dropped = 0 }
+
+let push r ev =
+  if r.capacity = 0 then r.dropped <- r.dropped + 1
+  else begin
+    if r.len = r.capacity then r.dropped <- r.dropped + 1 else r.len <- r.len + 1;
+    r.buf.(r.head) <- ev;
+    r.head <- (r.head + 1) mod r.capacity
+  end
+
+let length r = r.len
+let dropped r = r.dropped
+let capacity r = r.capacity
+
+(** Retained events, oldest first. *)
+let to_list r =
+  let start = (r.head - r.len + r.capacity) mod max 1 r.capacity in
+  List.init r.len (fun i -> r.buf.((start + i) mod r.capacity))
+
+let clear r =
+  r.len <- 0;
+  r.head <- 0;
+  r.dropped <- 0

@@ -1,0 +1,147 @@
+(** Pluggable telemetry exporters.
+
+    A {!snapshot} is an immutable copy of a hub's state; the sinks
+    render one as a pretty table, flat JSON, CSV, or Chrome
+    [trace_event] JSON (load the file at chrome://tracing or
+    https://ui.perfetto.dev). Sinks run only at export time, so their
+    cost never lands inside a measured simulation. *)
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_mean : float;
+  h_max : int;
+  h_p50 : int;
+  h_p99 : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_summary) list;
+  events : Events.event list;
+  dropped_events : int;
+}
+
+let summarize h =
+  {
+    h_count = Metrics.Histogram.count h;
+    h_sum = Metrics.Histogram.sum h;
+    h_mean = Metrics.Histogram.mean h;
+    h_max = Metrics.Histogram.max_value h;
+    h_p50 = Metrics.Histogram.quantile h 0.5;
+    h_p99 = Metrics.Histogram.quantile h 0.99;
+  }
+
+let snapshot (t : Telemetry.t) =
+  {
+    counters = Telemetry.counters t;
+    histograms = List.map (fun (n, h) -> (n, summarize h)) (Telemetry.histograms t);
+    events = Telemetry.events t;
+    dropped_events = Telemetry.dropped_events t;
+  }
+
+(* ---------- pretty table ---------- *)
+
+let pp_table ppf s =
+  if s.counters <> [] then begin
+    Fmt.pf ppf "counters@.";
+    List.iter (fun (n, v) -> Fmt.pf ppf "  %-40s %12d@." n v) s.counters
+  end;
+  if s.histograms <> [] then begin
+    Fmt.pf ppf "histograms (cycles)@.";
+    Fmt.pf ppf "  %-40s %10s %12s %10s %10s %10s@." "name" "count" "mean" "p50<" "p99<" "max";
+    List.iter
+      (fun (n, h) ->
+         Fmt.pf ppf "  %-40s %10d %12.1f %10d %10d %10d@." n h.h_count h.h_mean h.h_p50
+           h.h_p99 h.h_max)
+      s.histograms
+  end;
+  if s.events <> [] || s.dropped_events > 0 then
+    Fmt.pf ppf "events: %d retained, %d dropped@." (List.length s.events) s.dropped_events
+
+(* ---------- JSON ---------- *)
+
+let json_of_event (e : Events.event) =
+  let args = List.map (fun (k, v) -> (k, Json.Str v)) e.Events.args in
+  let base =
+    [
+      ("name", Json.Str e.Events.name);
+      ("cat", Json.Str e.Events.cat);
+      ("ts", Json.Int e.Events.ts);
+      ("tid", Json.Int e.Events.tid);
+    ]
+  in
+  match e.Events.ph with
+  | Events.Instant -> Json.Obj (base @ [ ("ph", Json.Str "i"); ("args", Json.Obj args) ])
+  | Events.Complete dur ->
+    Json.Obj (base @ [ ("ph", Json.Str "X"); ("dur", Json.Int dur); ("args", Json.Obj args) ])
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, h) ->
+                ( n,
+                  Json.Obj
+                    [
+                      ("count", Json.Int h.h_count);
+                      ("sum", Json.Int h.h_sum);
+                      ("mean", Json.Float h.h_mean);
+                      ("p50", Json.Int h.h_p50);
+                      ("p99", Json.Int h.h_p99);
+                      ("max", Json.Int h.h_max);
+                    ] ))
+             s.histograms) );
+      ("events", Json.List (List.map json_of_event s.events));
+      ("dropped_events", Json.Int s.dropped_events);
+    ]
+
+(* ---------- CSV ---------- *)
+
+(** Counters (and histogram sums) as [metric,value] lines. *)
+let counters_csv s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "metric,value\n";
+  List.iter (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%s,%d\n" n v)) s.counters;
+  List.iter
+    (fun (n, h) -> Buffer.add_string b (Printf.sprintf "%s.sum,%d\n" n h.h_sum))
+    s.histograms;
+  Buffer.contents b
+
+(* ---------- Chrome trace_event ---------- *)
+
+(** Chrome's JSON object format: everything under ["traceEvents"], one
+    simulated thread per Chrome [tid], timestamps in (simulated) "us".
+    A metadata event names the process so the timeline is labeled. *)
+let chrome_trace ?(process_name = "sgxbounds-sim") s =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  let with_pid = function
+    | Json.Obj kvs -> Json.Obj (kvs @ [ ("pid", Json.Int 1) ])
+    | j -> j
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (meta :: List.map (fun e -> with_pid (json_of_event e)) s.events) );
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("dropped_events", Json.Int s.dropped_events) ]);
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_chrome_trace ?process_name path s =
+  write_file path (Json.to_string (chrome_trace ?process_name s))

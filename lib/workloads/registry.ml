@@ -65,10 +65,17 @@ let spec_cpu2006 =
 
 let all = phoenix @ parsec @ spec_cpu2006
 
+let names = List.map (fun s -> s.name) all
+
+let find_opt name = List.find_opt (fun s -> s.name = name) all
+
 let find name =
-  match List.find_opt (fun s -> s.name = name) all with
+  match find_opt name with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Registry.find: unknown workload %S" name)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.find: unknown workload %S (valid workloads: %s)" name
+         (String.concat ", " names))
 
 let of_suite suite = List.filter (fun s -> s.suite = suite) all
 

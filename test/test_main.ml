@@ -19,6 +19,7 @@ let () =
       ("deep-kernels", Test_deep_kernels.suite);
       ("apps", Test_apps.suite);
       ("harness", Test_harness.suite);
+      ("telemetry", Test_telemetry.suite);
       ("fex", Test_fex.suite);
       ("narrowing", Test_narrowing.suite);
       ("differential", Test_differential.suite);
