@@ -6,18 +6,35 @@
       dune exec bench/main.exe            # everything
       dune exec bench/main.exe fig7 fig8  # selected experiments
       dune exec bench/main.exe bechamel   # wall-clock micro-benchmarks
+      dune exec bench/main.exe -- -j 4 fig7        # grid cells across 4 domains
+      dune exec bench/main.exe -- throughput       # engine speed -> BENCH_PR2.json
+      dune exec bench/main.exe -- --smoke --out /tmp/b.json throughput
+
+    Flags: [-j N | --jobs N] fan independent (scheme x workload) cells of
+    the figure sweeps across N OCaml domains (results are bit-for-bit
+    those of -j 1); [--smoke] shrinks the throughput bench for CI;
+    [--out FILE] redirects the throughput JSON report.
 
     Absolute numbers are simulation cycles, not Skylake cycles; what is
     expected to match the paper is the *shape*: who wins, by what rough
     factor, where the crossovers fall (see EXPERIMENTS.md). *)
 
 module Harness = Sb_harness.Harness
+module Parallel_runner = Sb_harness.Parallel_runner
 module Registry = Sb_workloads.Registry
 module Wctx = Sb_workloads.Wctx
 module Config = Sb_machine.Config
 module Memsys = Sb_sgx.Memsys
 module Scheme = Sb_protection.Scheme
 module Util = Sb_machine.Util
+module Fastpath = Sb_machine.Fastpath
+module Json = Sb_telemetry.Json
+
+(* Runner options, set by the CLI flags (--jobs N, --smoke, --out FILE)
+   before any experiment runs. *)
+let jobs = ref 1
+let smoke = ref false
+let out_file = ref "BENCH_PR2.json"
 
 let header title =
   Fmt.pr "@.===============================================================@.";
@@ -125,13 +142,7 @@ let phoenix_parsec =
   Registry.of_suite Registry.Phoenix @ Registry.of_suite Registry.Parsec
 
 let collect ~schemes ~threads ~workloads =
-  List.map
-    (fun (w : Registry.spec) ->
-       let results =
-         List.map (fun scheme -> (scheme, Harness.run_one ~threads ~scheme w)) schemes
-       in
-       (w.Registry.name, results))
-    workloads
+  Parallel_runner.run_grid ~jobs:!jobs ~threads ~schemes ~workloads ()
 
 let ratio_of ~base r =
   match (base, r) with
@@ -323,14 +334,9 @@ let table4 () =
 (* ------------------------------------------------------------------ *)
 
 let spec_rows ~env =
-  let schemes = [ "native"; "mpx"; "asan"; "sgxbounds" ] in
-  List.map
-    (fun (w : Registry.spec) ->
-       let results =
-         List.map (fun scheme -> (scheme, Harness.run_one ~env ~threads:1 ~scheme w)) schemes
-       in
-       (w.Registry.name, results))
-    (Registry.of_suite Registry.Spec)
+  Parallel_runner.run_grid ~jobs:!jobs ~env ~threads:1
+    ~schemes:[ "native"; "mpx"; "asan"; "sgxbounds" ]
+    ~workloads:(Registry.of_suite Registry.Spec) ()
 
 let fig11 () =
   header "Figure 11: SPEC CPU2006 inside the SGX enclave";
@@ -654,6 +660,160 @@ let results () =
     1
 
 (* ------------------------------------------------------------------ *)
+(* Throughput: host wall-clock speed of the simulator itself           *)
+(* ------------------------------------------------------------------ *)
+
+(* A representative access mix over one Memsys, mirroring what the
+   protection schemes actually generate: hot-word counter updates
+   (same-line traffic — the MRU/memo fast paths), strlen-style byte
+   scans, byte store sweeps, sequential word scans, strcpy-style string
+   churn (touch_range + Vmem string ops, as in Simlibc), pseudo-random
+   loads (misses + EPC pressure) and bulk fill/blit. Deterministic. *)
+let throughput_kernel ms ~buf ~buf_len ~rounds =
+  let vm = Memsys.vmem ms in
+  let words = buf_len / 8 in
+  let rng = Sb_machine.Rng.create 42 in
+  let str = String.init 240 (fun i -> Char.chr (33 + (i mod 94))) in
+  for r = 1 to rounds do
+    (* 1. hot-word hammer: loop counters and accumulators *)
+    for i = 1 to 8192 do
+      let v = Memsys.load ms ~addr:buf ~width:8 in
+      Memsys.store ms ~addr:buf ~width:8 (v + i)
+    done;
+    (* 2. strlen-style byte scan over 16 KiB *)
+    for b = 0 to 16383 do
+      ignore (Memsys.load ms ~addr:(buf + b) ~width:1)
+    done;
+    (* 3. byte store sweep over one page *)
+    for b = 0 to 4095 do
+      Memsys.store ms ~addr:(buf + b) ~width:1 ((b + r) land 0xff)
+    done;
+    (* 4. sequential word scan over 64 KiB *)
+    let i = ref 0 in
+    while !i < 65536 do
+      ignore (Memsys.load ms ~addr:(buf + !i) ~width:8);
+      i := !i + 8
+    done;
+    (* 5. string churn: strcpy-in / strcpy-out pairs (Simlibc pattern) *)
+    for s = 0 to 255 do
+      let a = buf + 65536 + (s * 256) in
+      Memsys.touch_range ms ~addr:a ~len:240;
+      Sb_vmem.Vmem.write_string vm ~addr:a str;
+      Memsys.touch_range ms ~addr:a ~len:240;
+      ignore (Sb_vmem.Vmem.read_string vm ~addr:a ~len:240)
+    done;
+    (* 6. random word loads over the whole buffer (EPC pressure) *)
+    for _ = 1 to 2048 do
+      let w = Sb_machine.Rng.int rng words in
+      ignore (Memsys.load ms ~addr:(buf + (w * 8)) ~width:8)
+    done;
+    (* 7. bulk fill + copy *)
+    Memsys.fill ms ~addr:buf ~len:16384 ~byte:(r land 0xff);
+    Memsys.blit ms ~src:buf ~dst:(buf + 131072) ~len:16384
+  done
+
+(* Simulated memory accesses per host second for one engine. The engine
+   flag is sampled by every component at [Memsys.create], so the whole
+   machine must be built inside [with_engine]. *)
+let measure_engine ~fast ~rounds =
+  Fastpath.with_engine fast (fun () ->
+      let ms = Memsys.create (Config.default ()) in
+      let vm = Memsys.vmem ms in
+      let buf_len = 256 * 1024 in
+      let buf = Sb_vmem.Vmem.map vm ~len:buf_len ~perm:Sb_vmem.Vmem.Read_write () in
+      throughput_kernel ms ~buf ~buf_len ~rounds:1 (* warm-up *);
+      let before = (Memsys.snapshot ms).Memsys.mem_accesses in
+      let t0 = Unix.gettimeofday () in
+      throughput_kernel ms ~buf ~buf_len ~rounds;
+      let dt = Unix.gettimeofday () -. t0 in
+      let accesses = (Memsys.snapshot ms).Memsys.mem_accesses - before in
+      (float_of_int accesses /. dt, accesses, dt))
+
+let scaling_cells ~divisor =
+  List.concat_map
+    (fun wname ->
+       let w = Registry.find wname in
+       let n = max 64 (w.Registry.default_n / divisor) in
+       List.map
+         (fun scheme -> Parallel_runner.cell ~n ~scheme w)
+         [ "native"; "mpx"; "asan"; "sgxbounds" ])
+    [ "kmeans"; "histogram"; "linear_regression"; "matrixmul" ]
+
+let grid_time ~jobs cells =
+  let t0 = Unix.gettimeofday () in
+  ignore (Parallel_runner.run_cells ~jobs cells);
+  Unix.gettimeofday () -. t0
+
+(* Best of [reps] measurements: throughput microbenches take the best
+   run to shed scheduler/GC noise — the minimum achievable time is the
+   property of the code, the rest is the host. *)
+let best_of reps f =
+  let rec go i ((best_rate, _, _) as best) =
+    if i >= reps then best
+    else
+      let ((rate, _, _) as r) = f () in
+      go (i + 1) (if rate > best_rate then r else best)
+  in
+  go 1 (f ())
+
+let throughput () =
+  header "Throughput: host wall-clock simulator speed (fast vs naive engine)";
+  let rounds = if !smoke then 8 else 400 in
+  let reps = if !smoke then 1 else 3 in
+  let fast_rate, accesses, fast_dt =
+    best_of reps (fun () -> measure_engine ~fast:true ~rounds)
+  in
+  let naive_rate, _, naive_dt =
+    best_of reps (fun () -> measure_engine ~fast:false ~rounds)
+  in
+  let speedup = fast_rate /. naive_rate in
+  let sim_maps = fast_rate /. 1e6 in
+  Fmt.pr "fast engine : %8.2f M sim-accesses/s (%d accesses in %.3fs)@."
+    sim_maps accesses fast_dt;
+  Fmt.pr "naive engine: %8.2f M sim-accesses/s (%.3fs)@." (naive_rate /. 1e6) naive_dt;
+  Fmt.pr "speedup     : %8.2fx@." speedup;
+  (* Domain-scaling of a small experiment grid (the Figure 7/11 shape). *)
+  let cells = scaling_cells ~divisor:(if !smoke then 32 else 4) in
+  let max_jobs = min 4 (max 2 (Domain.recommended_domain_count ())) in
+  let job_counts = List.filter (fun j -> j <= max_jobs) [ 1; 2; 4 ] in
+  let times = List.map (fun j -> (j, grid_time ~jobs:j cells)) job_counts in
+  List.iter
+    (fun (j, t) ->
+       Fmt.pr "grid (%d cells) with %d job(s): %.3fs@." (List.length cells) j t)
+    times;
+  let t1 = List.assoc 1 times in
+  let grid =
+    List.map
+      (fun (j, t) ->
+         Json.Obj
+           [ ("jobs", Json.Int j); ("seconds", Json.Float t);
+             ("speedup", Json.Float (t1 /. t)) ])
+      times
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "throughput");
+        ("smoke", Json.Bool !smoke);
+        ("rounds", Json.Int rounds);
+        ("accesses", Json.Int accesses);
+        ("sim_maps", Json.Float sim_maps);
+        ("naive_maps", Json.Float (naive_rate /. 1e6));
+        ("speedup_vs_naive", Json.Float speedup);
+        ("grid_cells", Json.Int (List.length cells));
+        ("grid_scaling", Json.List grid);
+      ]
+  in
+  let s = Json.to_string doc in
+  (match Json.parse s with
+   | Ok _ -> ()
+   | Error e -> failwith ("throughput: emitted invalid JSON: " ^ e));
+  Out_channel.with_open_bin !out_file (fun oc ->
+      output_string oc s;
+      output_char oc '\n');
+  Fmt.pr "wrote %s@." !out_file
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -673,10 +833,35 @@ let experiments =
     ("sweep-epc", sweep_epc);
     ("ablations", ablations);
     ("bechamel", bechamel);
+    ("throughput", throughput);
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 ->
+         jobs := n;
+         parse acc rest
+       | _ ->
+         Fmt.epr "--jobs expects a positive integer, got %S@." v;
+         exit 1)
+    | [ ("--jobs" | "-j") ] ->
+      Fmt.epr "--jobs expects an argument@.";
+      exit 1
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse acc rest
+    | "--out" :: v :: rest ->
+      out_file := v;
+      parse acc rest
+    | [ "--out" ] ->
+      Fmt.epr "--out expects an argument@.";
+      exit 1
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] ->

@@ -12,6 +12,7 @@
 
 open Cmdliner
 module Harness = Sb_harness.Harness
+module Parallel_runner = Sb_harness.Parallel_runner
 module Registry = Sb_workloads.Registry
 module Config = Sb_machine.Config
 module Telemetry = Sb_telemetry.Telemetry
@@ -57,6 +58,12 @@ let n_arg =
 
 let outside_arg =
   Arg.(value & flag & info [ "outside" ] ~doc:"Run outside the enclave (no EPC/MEE).")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ]
+           ~doc:"Fan independent cells across N OCaml domains (host parallelism; \
+                 simulated results are identical to a sequential sweep).")
 
 let stats_arg =
   Arg.(value & flag
@@ -124,9 +131,17 @@ let run_cmd =
           $ stats_arg $ trace_arg $ json_arg)
 
 let stats_cmd =
-  let run workload threads n outside json =
+  let run workload threads n outside json jobs =
     let w = find_workload workload in
-    let results = Harness.run_ablation ~env:(env_of outside) ~threads ?n w in
+    let env = env_of outside in
+    (* Each ablation variant is an independent cell with its own Memsys;
+       fan them across domains when --jobs asks for it. *)
+    let results =
+      Parallel_runner.run_cells ~jobs
+        (List.map
+           (fun scheme -> Parallel_runner.cell ~env ~threads ?n ~scheme w)
+           Harness.ablation_schemes)
+    in
     if json then
       Fmt.pr "%s@." (Json.to_string (Json.List (List.map Harness.json_of_result results)))
     else begin
@@ -137,21 +152,36 @@ let stats_cmd =
            | ("sgxbounds" | "sgxbounds-noopt"), Harness.Completed m ->
              Harness.print_attribution ~label:(r.Harness.workload ^ "/" ^ r.Harness.scheme) m
            | _ -> ())
-        results
+        results;
+      (* Cross-cell view: sum the per-class counters of every cell's
+         private Memsys — never read from a single (e.g. the last)
+         domain's memory system. *)
+      match Harness.aggregate_metrics (Harness.completed_metrics results) with
+      | Some agg ->
+        Harness.print_attribution
+          ~label:
+            (Fmt.str "aggregate over %d cells (counters summed across domains)"
+               (List.length (Harness.completed_metrics results)))
+          agg
+      | None -> ()
     end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Explain a workload's overhead: run the §4.4 optimization ablation \
-             (native + all sgxbounds variants) and print per-cell cycle attribution.")
-    Term.(const run $ workload_arg $ threads_arg $ n_arg $ outside_arg $ json_arg)
+             (native + all sgxbounds variants) and print per-cell cycle attribution \
+             plus the aggregate across all cells.")
+    Term.(const run $ workload_arg $ threads_arg $ n_arg $ outside_arg $ json_arg $ jobs_arg)
 
 let compare_cmd =
-  let run workload threads n outside =
+  let run workload threads n outside jobs =
     let w = find_workload workload in
     let schemes = [ "native"; "sgxbounds"; "asan"; "mpx" ] in
     let results =
-      List.map (fun s -> Harness.run_one ~env:(env_of outside) ~threads ?n ~scheme:s w) schemes
+      Parallel_runner.run_cells ~jobs
+        (List.map
+           (fun s -> Parallel_runner.cell ~env:(env_of outside) ~threads ?n ~scheme:s w)
+           schemes)
     in
     List.iter (fun r -> pp_outcome r.Harness.scheme r.Harness.outcome) results;
     match (List.hd results).Harness.outcome with
@@ -166,7 +196,7 @@ let compare_cmd =
     | Harness.Crashed _ -> ()
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run one workload under all main schemes.")
-    Term.(const run $ workload_arg $ threads_arg $ n_arg $ outside_arg)
+    Term.(const run $ workload_arg $ threads_arg $ n_arg $ outside_arg $ jobs_arg)
 
 let list_cmd =
   let run () =
@@ -236,8 +266,38 @@ let exploits_cmd =
   Cmd.v (Cmd.info "exploits" ~doc:"Run the §7 real-exploit reproductions under a scheme.")
     Term.(const run $ scheme_arg)
 
+let validate_bench_cmd =
+  let run file =
+    let contents =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error e -> die "cannot read %s: %s" file e
+    in
+    match Json.parse contents with
+    | Error msg -> die "%s: invalid JSON: %s" file msg
+    | Ok j ->
+      let num k =
+        match Json.member k j with
+        | Some (Json.Int _ | Json.Float _) -> ()
+        | Some _ -> die "%s: key %S is not a number" file k
+        | None -> die "%s: missing key %S" file k
+      in
+      num "sim_maps";
+      num "speedup_vs_naive";
+      Fmt.pr "%s: valid bench result (sim_maps, speedup_vs_naive present)@." file
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"BENCH_*.json file.")
+  in
+  Cmd.v
+    (Cmd.info "validate-bench"
+       ~doc:"Validate a BENCH_*.json emitted by `bench/main.exe throughput': must parse \
+             as JSON and carry numeric sim_maps and speedup_vs_naive keys.")
+    Term.(const run $ file_arg)
+
 let () =
   let info = Cmd.info "sgxbounds_cli" ~doc:"SGXBounds reproduction driver" in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd ]))
+       (Cmd.group info
+          [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd;
+            validate_bench_cmd ]))

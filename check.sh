@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 echo "== dune build"
 dune build
 
+echo "== dune build --profile release"
+dune build --profile release
+
 echo "== dune runtest"
 dune runtest
 
@@ -38,6 +41,12 @@ if command -v jq >/dev/null 2>&1; then
 else
   grep -q '"traceEvents"' "$trace"
 fi
+
+echo "== bench smoke: throughput (fast vs naive engine)"
+bench_out=$(mktemp /tmp/sgxbounds-bench.XXXXXX.json)
+trap 'rm -f "$trace" "$bench_out"' EXIT
+_build/default/bench/main.exe --smoke --out "$bench_out" throughput >/dev/null
+"$CLI" validate-bench "$bench_out"
 
 echo "== CLI smoke: unknown names are clean errors"
 if "$CLI" run -w nosuchworkload -s sgxbounds >/dev/null 2>&1; then

@@ -18,6 +18,13 @@ val create : size:int -> assoc:int -> line_size:int -> t
     replaced. *)
 val access : t -> line:int -> bool
 
+(** Record a hit without probing. Caller contract: the line must be at
+    way 0 of its set (true immediately after any [access] of it with no
+    intervening access to the cache). Equivalent to [access] on such a
+    line — counts the hit, recency already correct. Used by the memory
+    system's last-line fast path. *)
+val count_mru_hits : t -> int -> unit
+
 (** Invalidate everything (e.g. between experiment runs). *)
 val flush : t -> unit
 

@@ -31,6 +31,13 @@ let hit_cost t = function
   | Llc -> t.costs.llc_hit
   | Dram -> 0
 
+let l1_hit_cost t = t.costs.l1_hit
+
+(* See Cache.count_mru_hit: the caller has proven (via its last-line
+   memo) that the line is at way 0 of L1, so the access is an L1 hit
+   with no recency or lower-level effects. *)
+let count_l1_mru_hits t n = Cache.count_mru_hits t.l1 n
+
 let llc_misses t = Cache.misses t.llc
 
 type level_stats = { hits : int; misses : int }

@@ -21,6 +21,15 @@ val access : t -> addr:int -> served
     memory system adds the DRAM/EPC cost itself). *)
 val hit_cost : t -> served -> int
 
+(** [hit_cost t L1] without constructing a [served]. *)
+val l1_hit_cost : t -> int
+
+(** Count an L1 hit the caller short-circuited. Contract as in
+    {!Cache.count_mru_hits}: the line was the hierarchy's most recent
+    access, so it sits at way 0 of L1 and [access] would have returned
+    [L1] while changing nothing but the hit counter. *)
+val count_l1_mru_hits : t -> int -> unit
+
 val llc_misses : t -> int
 
 (** Per-level hit/miss counters since the last [reset_stats]. A miss at

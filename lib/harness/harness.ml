@@ -142,6 +142,72 @@ let mem_ratio ~baseline r =
   | Crashed _ -> None
   | Completed m -> Some (float_of_int m.peak_vm /. float_of_int (max 1 baseline.peak_vm))
 
+(* ---------- aggregation across cells/domains ---------- *)
+
+(** Sum the counters of several completed cells into one [metrics] — the
+    per-class attribution, cache and EPC counters of a parallel sweep
+    aggregated over every domain's private [Memsys], not read from any
+    single one. [cycles] (and the other totals) are summed, i.e. total
+    simulated work across the cells, not elapsed time of the sweep. *)
+let aggregate_metrics (ms : metrics list) =
+  match ms with
+  | [] -> None
+  | first :: _ ->
+    let sum f = List.fold_left (fun acc m -> acc + f m) 0 ms in
+    let sum_attr =
+      List.map
+        (fun c ->
+           let st m =
+             match List.assoc_opt c m.attribution with
+             | Some (st : Memsys.class_stat) -> st
+             | None -> { Memsys.accesses = 0; cycles = 0 }
+           in
+           ( c,
+             {
+               Memsys.accesses = sum (fun m -> (st m).Memsys.accesses);
+               cycles = sum (fun m -> (st m).Memsys.cycles);
+             } ))
+        Memsys.all_classes
+    in
+    let sum_cache =
+      List.map
+        (fun (lvl, _) ->
+           let st m =
+             match List.assoc_opt lvl m.cache with
+             | Some (st : Sb_cache.Hierarchy.level_stats) -> st
+             | None -> { Sb_cache.Hierarchy.hits = 0; misses = 0 }
+           in
+           ( lvl,
+             {
+               Sb_cache.Hierarchy.hits = sum (fun m -> (st m).Sb_cache.Hierarchy.hits);
+               misses = sum (fun m -> (st m).Sb_cache.Hierarchy.misses);
+             } ))
+        first.cache
+    in
+    Some
+      {
+        cycles = sum (fun m -> m.cycles);
+        instrs = sum (fun m -> m.instrs);
+        mem_accesses = sum (fun m -> m.mem_accesses);
+        llc_misses = sum (fun m -> m.llc_misses);
+        epc_faults = sum (fun m -> m.epc_faults);
+        epc_evictions = sum (fun m -> m.epc_evictions);
+        peak_vm = sum (fun m -> m.peak_vm);
+        bts = sum (fun m -> m.bts);
+        quarantine = sum (fun m -> m.quarantine);
+        attribution = sum_attr;
+        compute_cycles = sum (fun m -> m.compute_cycles);
+        cache = sum_cache;
+        checks_done = sum (fun m -> m.checks_done);
+        checks_elided = sum (fun m -> m.checks_elided);
+        checks_hoisted = sum (fun m -> m.checks_hoisted);
+        violations = sum (fun m -> m.violations);
+      }
+
+(** The completed cells of a result list, in order. *)
+let completed_metrics (rs : result list) =
+  List.filter_map (fun r -> match r.outcome with Completed m -> Some m | Crashed _ -> None) rs
+
 (* ---------- table formatting ---------- *)
 
 let pp_ratio ppf = function

@@ -8,5 +8,14 @@ type _ Effect.t += Yield : unit Effect.t
 
 (** Set while a scheduler is installed; the memory system only performs
     [Yield] when this is true, so single-threaded code never pays for an
-    unhandled-effect exception. *)
-let scheduler_active = ref false
+    unhandled-effect exception.
+
+    Domain-local: effect handlers do not cross OCaml domains, so a
+    scheduler installed by one domain must not make a memory system
+    running in another domain perform an unhandled [Yield]. The
+    parallel experiment runner ({!Sb_harness.Parallel_runner}) relies on
+    this — each domain simulates its own cooperative threads. *)
+let scheduler_key = Domain.DLS.new_key (fun () -> false)
+
+let scheduler_active () = Domain.DLS.get scheduler_key
+let set_scheduler_active v = Domain.DLS.set scheduler_key v

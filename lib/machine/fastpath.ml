@@ -1,0 +1,33 @@
+(** Engine selection for the fast-path memory engine.
+
+    The simulator keeps two behaviourally identical implementations of
+    its hot layers (cache probe, address translation, EPC residency,
+    access charging): the *fast* engine — MRU fast paths, translation
+    memos, unboxed codecs — and the *naive* reference engine, the
+    straightforward code the fast paths are proven against. Selection is
+    sampled once per component at [create] time, so a component never
+    changes engine mid-life and two components with different engines
+    can coexist (that is what the differential tests do).
+
+    The fast engine must produce bit-for-bit identical simulation
+    results (cycles, hit/miss counts, EPC faults, attribution) — only
+    host wall-clock may differ. [test/test_fastpath.ml] pins this.
+
+    Set the [SGXBOUNDS_NAIVE] environment variable (any value) to start
+    with the naive engine, e.g. to time the speedup from outside. *)
+
+let enabled : bool Atomic.t =
+  Atomic.make (Sys.getenv_opt "SGXBOUNDS_NAIVE" = None)
+
+let is_enabled () = Atomic.get enabled
+let set b = Atomic.set enabled b
+
+(** Run [f] with the engine forced to naive ([false]) or fast ([true]),
+    restoring the previous selection afterwards. Only components
+    *created* inside [f] are affected. *)
+let with_engine fast f =
+  let prev = Atomic.get enabled in
+  Atomic.set enabled fast;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f
+
+let with_naive f = with_engine false f

@@ -9,10 +9,10 @@ type state =
   | Suspended of (unit, unit) continuation
   | Finished
 
-let yield () = if !Eff.scheduler_active then Effect.perform Eff.Yield
+let yield () = if Eff.scheduler_active () then Effect.perform Eff.Yield
 
 let run ms fns =
-  if !Eff.scheduler_active then invalid_arg "Mt.run: nested parallel regions";
+  if Eff.scheduler_active () then invalid_arg "Mt.run: nested parallel regions";
   let n = Array.length fns in
   assert (n >= 1 && n <= Array.length fns);
   let start = Memsys.get_clock ms (Memsys.current_thread ms) in
@@ -60,10 +60,10 @@ let run ms fns =
        | Finished -> assert false);
       loop ()
   in
-  Eff.scheduler_active := true;
+  Eff.set_scheduler_active true;
   Fun.protect
     ~finally:(fun () ->
-      Eff.scheduler_active := false;
+      Eff.set_scheduler_active false;
       (* Sequential code continues on thread 0 at the region's elapsed
          time (the slowest thread). *)
       let mx = ref 0 in

@@ -7,37 +7,80 @@ type t = {
   slots : int array;            (* page number per slot, -1 = free *)
   refbit : Bytes.t;
   index : (int, int) Hashtbl.t; (* page -> slot *)
+  (* Fast engine: direct-mapped page -> slot table (-1 = not resident)
+     covering the simulated address space, mirroring [index] exactly.
+     Turns the residency probe on every DRAM access into one array read
+     instead of a hashtable lookup. [index] stays authoritative — it is
+     maintained in both engines and still serves pages outside the
+     table's range (garbage addresses reach the EPC before Vmem faults
+     them). Length 0 when naive or when the address-space size was not
+     supplied. *)
+  page_table : int array;
   mutable hand : int;
   mutable used : int;
   mutable faults : int;
   mutable evictions : int;
   mutable tracer : (event -> unit) option;
+  (* Fast engine: last-page residency memo. Valid whenever it matches:
+     the memo is overwritten by every touch, so a matching page was the
+     immediately preceding access and is necessarily still resident in
+     [last_slot] — no eviction can have intervened. Skips the hashtable
+     lookup for same-page streaks. -1 = no memo (naive engine). *)
+  mutable last_page : int;
+  mutable last_slot : int;
+  fast : bool;
 }
 
-let create ~capacity_pages =
+let create ?(num_pages = 0) ~capacity_pages () =
   let capacity = max 1 capacity_pages in
+  let fast = Sb_machine.Fastpath.is_enabled () in
   {
     capacity;
     slots = Array.make capacity (-1);
     refbit = Bytes.make capacity '\000';
     index = Hashtbl.create (capacity * 2);
+    page_table =
+      (if fast && num_pages > 0 then Array.make num_pages (-1) else [||]);
     hand = 0;
     used = 0;
     faults = 0;
     evictions = 0;
     tracer = None;
+    last_page = -1;
+    last_slot = 0;
+    fast;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
 
 let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
-let touch t ~page =
-  match Hashtbl.find_opt t.index page with
-  | Some slot ->
+let rec touch t ~page =
+  if page = t.last_page then begin
+    Bytes.unsafe_set t.refbit t.last_slot '\001';
+    true
+  end
+  else touch_slow t ~page
+
+and touch_slow t ~page =
+  let slot =
+    (* Residency probe: direct-mapped table when the page is inside the
+       simulated address space, hashtable otherwise. Both views are kept
+       in sync on every insert and eviction. *)
+    if page >= 0 && page < Array.length t.page_table then
+      Array.unsafe_get t.page_table page
+    else
+      match Hashtbl.find_opt t.index page with Some s -> s | None -> -1
+  in
+  if slot >= 0 then begin
+    if t.fast then begin
+      t.last_page <- page;
+      t.last_slot <- slot
+    end;
     Bytes.unsafe_set t.refbit slot '\001';
     true
-  | None ->
+  end
+  else begin
     t.faults <- t.faults + 1;
     let slot =
       if t.used < t.capacity then begin
@@ -59,8 +102,11 @@ let touch t ~page =
         in
         let s = sweep () in
         t.evictions <- t.evictions + 1;
-        emit t (Evict { page = t.slots.(s); slot = s });
-        Hashtbl.remove t.index t.slots.(s);
+        let victim = t.slots.(s) in
+        emit t (Evict { page = victim; slot = s });
+        Hashtbl.remove t.index victim;
+        if victim >= 0 && victim < Array.length t.page_table then
+          Array.unsafe_set t.page_table victim (-1);
         s
       end
     in
@@ -68,7 +114,14 @@ let touch t ~page =
     t.slots.(slot) <- page;
     Bytes.set t.refbit slot '\001';
     Hashtbl.replace t.index page slot;
+    if page >= 0 && page < Array.length t.page_table then
+      Array.unsafe_set t.page_table page slot;
+    if t.fast then begin
+      t.last_page <- page;
+      t.last_slot <- slot
+    end;
     false
+  end
 
 let faults t = t.faults
 let evictions t = t.evictions
@@ -80,10 +133,19 @@ let reset_stats t =
   t.evictions <- 0
 
 let clear t =
+  (* Un-map only the resident pages from the direct table — cheaper than
+     refilling the whole address space. *)
+  Array.iter
+    (fun page ->
+       if page >= 0 && page < Array.length t.page_table then
+         Array.unsafe_set t.page_table page (-1))
+    t.slots;
   Array.fill t.slots 0 t.capacity (-1);
   Bytes.fill t.refbit 0 t.capacity '\000';
   Hashtbl.reset t.index;
   t.hand <- 0;
   t.used <- 0;
   t.faults <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.last_page <- -1;
+  t.last_slot <- 0

@@ -20,7 +20,12 @@ type event =
   | Fault of { page : int }              (** page loaded + decrypted into the EPC *)
   | Evict of { page : int; slot : int }  (** victim re-encrypted and written back *)
 
-val create : capacity_pages:int -> t
+(** [create ?num_pages ~capacity_pages ()] builds an EPC with
+    [capacity_pages] slots. [num_pages] is the size of the simulated
+    address space in pages; when given (and the fast engine is active)
+    residency lookups use a direct-mapped page table of that size
+    instead of a hashtable — behaviour is identical either way. *)
+val create : ?num_pages:int -> capacity_pages:int -> unit -> t
 
 (** Install (or remove, with [None]) an event callback. The memory
     system wires this to its telemetry hub only when tracing is on, so

@@ -60,12 +60,37 @@ type t = {
   cls_accesses : int array;
   cls_cycles : int array;
   mutable compute_cycles : int;
-  (* Per-class access-cost histograms, pre-resolved so the hot path does
-     no hashtable lookups; None when telemetry is off. *)
-  cost_hists : Sb_telemetry.Metrics.Histogram.t array option;
+  (* Telemetry hook, hoisted out of [charge_access]: the branch on
+     whether histograms exist is taken once at [create] time and baked
+     into this closure — a statically allocated no-op when telemetry is
+     off, a pre-resolved per-class observation when it is on. *)
+  observe : int -> int -> unit;
   mutable yield_countdown : int;
   line_mask : int;
   dram_cost : int;          (* cost of a DRAM access in the current env *)
+  (* Fast engine: last-line cost memo. Holds the line-aligned address of
+     the hierarchy's most recent access (so that line is at way 0 of L1
+     by the LRU invariant), or -1. A single-line access to it is an L1
+     hit costing [l1_cost] with no other state change — the short path
+     skips the hierarchy walk and the EPC entirely, with identical
+     stats. Invalidated by [reset] (which flushes the caches). *)
+  mutable last_line : int;
+  l1_cost : int;
+  fast : bool;
+  (* Fast engine, telemetry off: same-line streak accumulator. While
+     consecutive single-line accesses stay on [last_line] with the same
+     class, each has the identical effect (one L1 hit, [l1_cost] cycles
+     to the same buckets), so only a count is kept and the batch is
+     applied by [flush_pending] before any other bookkeeping runs or any
+     stats are read — observable state equals the naive engine's at
+     every read point. The yield countdown is still maintained per
+     access, and the batch is flushed before a yield is performed, so
+     cooperative scheduling (and every clock a scheduler could read) is
+     bit-for-bit unchanged. Disabled under telemetry, which must observe
+     each access individually. *)
+  mutable pend_k : int;
+  mutable pend_ci : int;
+  batch : bool;
 }
 
 
@@ -73,10 +98,15 @@ let yield_quantum = 32
 
 let create ?tel (cfg : Config.t) =
   let tel = match tel with Some t -> t | None -> Telemetry.disabled () in
+  let fast = Sb_machine.Fastpath.is_enabled () in
   let epc =
     match cfg.env with
     | Config.Inside_enclave ->
-      Some (Epc.create ~capacity_pages:(max 4 (cfg.epc_bytes / cfg.page_size)))
+      Some
+        (Epc.create
+           ~num_pages:((Vmem.addr_mask + 1) lsr 12)
+           ~capacity_pages:(max 4 (cfg.epc_bytes / cfg.page_size))
+           ())
     | Config.Outside_enclave -> None
   in
   let dram_cost =
@@ -84,20 +114,24 @@ let create ?tel (cfg : Config.t) =
     | Config.Inside_enclave -> cfg.costs.dram * (100 + cfg.costs.mee_percent) / 100
     | Config.Outside_enclave -> cfg.costs.dram
   in
-  let cost_hists =
-    if Telemetry.is_enabled tel then
-      Some
-        (Array.of_list
-           (List.map
-              (fun c -> Telemetry.histogram tel ("access_cycles:" ^ class_name c))
-              all_classes))
-    else None
+  let observe =
+    if Telemetry.is_enabled tel then begin
+      let hists =
+        Array.of_list
+          (List.map
+             (fun c -> Telemetry.histogram tel ("access_cycles:" ^ class_name c))
+             all_classes)
+      in
+      fun ci cost -> Sb_telemetry.Metrics.Histogram.observe hists.(ci) cost
+    end
+    else fun _ _ -> ()
   in
+  let hier = Hierarchy.create cfg in
   let t =
     {
       cfg;
       vmem = Vmem.create cfg;
-      hier = Hierarchy.create cfg;
+      hier;
       epc;
       tel;
       clocks = Array.make cfg.max_threads 0;
@@ -107,10 +141,16 @@ let create ?tel (cfg : Config.t) =
       cls_accesses = Array.make n_classes 0;
       cls_cycles = Array.make n_classes 0;
       compute_cycles = 0;
-      cost_hists;
+      observe;
       yield_countdown = yield_quantum;
       line_mask = lnot (cfg.line_size - 1);
       dram_cost;
+      last_line = -1;
+      l1_cost = Hierarchy.l1_hit_cost hier;
+      fast;
+      pend_k = 0;
+      pend_ci = 0;
+      batch = fast && not (Telemetry.is_enabled tel);
     }
   in
   Telemetry.set_clock tel (fun () -> t.clocks.(t.tid));
@@ -139,7 +179,7 @@ let maybe_yield t =
   t.yield_countdown <- t.yield_countdown - 1;
   if t.yield_countdown <= 0 then begin
     t.yield_countdown <- yield_quantum;
-    if !Sb_machine.Eff.scheduler_active then Effect.perform Sb_machine.Eff.Yield
+    if Sb_machine.Eff.scheduler_active () then Effect.perform Sb_machine.Eff.Yield
   end
 
 (* Cost of touching one cache line at [addr]. *)
@@ -157,20 +197,60 @@ let charge_access t ci cost =
   t.cls_accesses.(ci) <- t.cls_accesses.(ci) + 1;
   t.cls_cycles.(ci) <- t.cls_cycles.(ci) + cost;
   t.clocks.(t.tid) <- t.clocks.(t.tid) + cost;
-  (match t.cost_hists with
-   | None -> ()
-   | Some hs -> Sb_telemetry.Metrics.Histogram.observe hs.(ci) cost);
+  t.observe ci cost;
   maybe_yield t
 
+(* Apply a pending same-line streak: [pend_k] accesses, each an L1 hit
+   of [l1_cost] cycles charged to class [pend_ci]. Must run before any
+   other stats mutation (so a yield can never migrate the batch to
+   another thread's clock) and before any stats read. *)
+let flush_pending t =
+  if t.pend_k > 0 then begin
+    let k = t.pend_k in
+    let ci = t.pend_ci in
+    t.pend_k <- 0;
+    t.mem_accesses <- t.mem_accesses + k;
+    t.cls_accesses.(ci) <- t.cls_accesses.(ci) + k;
+    let c = k * t.l1_cost in
+    t.cls_cycles.(ci) <- t.cls_cycles.(ci) + c;
+    t.clocks.(t.tid) <- t.clocks.(t.tid) + c;
+    Hierarchy.count_l1_mru_hits t.hier k
+  end
+
 let touch ?(cls = Data) t ~addr ~width =
-  t.mem_accesses <- t.mem_accesses + 1;
   let first = addr land t.line_mask in
   let last = (addr + width - 1) land t.line_mask in
-  let cost = if first = last then line_cost t addr else line_cost t addr + line_cost t (addr + width - 1) in
-  charge_access t (class_index cls) cost
+  if first = t.last_line && first = last then begin
+    (* Same line as the previous access: guaranteed L1 hit at way 0. *)
+    if t.batch then begin
+      let ci = class_index cls in
+      if t.pend_k > 0 && ci <> t.pend_ci then flush_pending t;
+      t.pend_ci <- ci;
+      t.pend_k <- t.pend_k + 1;
+      t.yield_countdown <- t.yield_countdown - 1;
+      if t.yield_countdown <= 0 then begin
+        flush_pending t;
+        t.yield_countdown <- yield_quantum;
+        if Sb_machine.Eff.scheduler_active () then Effect.perform Sb_machine.Eff.Yield
+      end
+    end
+    else begin
+      t.mem_accesses <- t.mem_accesses + 1;
+      Hierarchy.count_l1_mru_hits t.hier 1;
+      charge_access t (class_index cls) t.l1_cost
+    end
+  end
+  else begin
+    flush_pending t;
+    t.mem_accesses <- t.mem_accesses + 1;
+    let cost = if first = last then line_cost t addr else line_cost t addr + line_cost t (addr + width - 1) in
+    if t.fast then t.last_line <- last;
+    charge_access t (class_index cls) cost
+  end
 
 let touch_range ?(cls = Data) t ~addr ~len =
   if len > 0 then begin
+    flush_pending t;
     let line = t.cfg.line_size in
     let first = addr land t.line_mask in
     let last = (addr + len - 1) land t.line_mask in
@@ -182,6 +262,7 @@ let touch_range ?(cls = Data) t ~addr ~len =
       incr n;
       a := !a + line
     done;
+    if t.fast then t.last_line <- last;
     let ci = class_index cls in
     t.mem_accesses <- t.mem_accesses + !n;
     t.cls_accesses.(ci) <- t.cls_accesses.(ci) + !n - 1;  (* charge_access adds 1 *)
@@ -215,14 +296,26 @@ let charge_alu ?cls t n =
      t.cls_cycles.(ci) <- t.cls_cycles.(ci) + c);
   t.clocks.(t.tid) <- t.clocks.(t.tid) + c
 
-let set_thread t tid = t.tid <- tid
-let current_thread t = t.tid
-let get_clock t tid = t.clocks.(tid)
-let set_clock t tid v = t.clocks.(tid) <- v
+let set_thread t tid =
+  flush_pending t;
+  t.tid <- tid
 
-let elapsed t = Array.fold_left max 0 t.clocks
+let current_thread t = t.tid
+
+let get_clock t tid =
+  flush_pending t;
+  t.clocks.(tid)
+
+let set_clock t tid v =
+  flush_pending t;
+  t.clocks.(tid) <- v
+
+let elapsed t =
+  flush_pending t;
+  Array.fold_left max 0 t.clocks
 
 let snapshot t =
+  flush_pending t;
   {
     cycles = elapsed t;
     instrs = t.instrs;
@@ -232,6 +325,7 @@ let snapshot t =
   }
 
 let attribution t =
+  flush_pending t;
   List.map
     (fun c ->
        let i = class_index c in
@@ -241,11 +335,15 @@ let attribution t =
 let compute_cycles t = t.compute_cycles
 
 let attributed_cycles t =
+  flush_pending t;
   Array.fold_left ( + ) t.compute_cycles t.cls_cycles
 
-let cache_stats t = Hierarchy.stats t.hier
+let cache_stats t =
+  flush_pending t;
+  Hierarchy.stats t.hier
 
 let reset t =
+  t.pend_k <- 0;
   Array.fill t.clocks 0 (Array.length t.clocks) 0;
   t.tid <- 0;
   t.instrs <- 0;
@@ -253,6 +351,7 @@ let reset t =
   Array.fill t.cls_accesses 0 n_classes 0;
   Array.fill t.cls_cycles 0 n_classes 0;
   t.compute_cycles <- 0;
+  t.last_line <- -1;
   Hierarchy.flush t.hier;
   Hierarchy.reset_stats t.hier;
   Telemetry.reset t.tel;

@@ -50,7 +50,15 @@ val create : Sb_machine.Config.t -> t
     @raise Invalid_argument on overlap with an existing mapping. *)
 val map : t -> ?addr:int -> len:int -> perm:perm -> unit -> int
 
-(** Remove a mapping previously created by [map] (whole pages). *)
+(** Remove a mapping previously created by [map] (whole pages).
+
+    Contract for partially mapped ranges: [unmap] is idempotent and
+    hole-tolerant, like POSIX [munmap]. Pages in [addr, addr+len) that
+    are not mapped are silently skipped, and [reserved_bytes] decreases
+    by [page_size] only for each page that was actually mapped — so
+    unmapping a range twice, or a range with holes, never double-frees
+    the reservation. A later [map ~addr] into the freed hole re-reserves
+    exactly what was released. *)
 val unmap : t -> addr:int -> len:int -> unit
 
 (** Change permissions of already-mapped pages. *)

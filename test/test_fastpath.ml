@@ -1,0 +1,245 @@
+(** Differential tests for the fast memory engine (PR 2): with the fast
+    paths on or off ({!Sb_machine.Fastpath}, env [SGXBOUNDS_NAIVE]),
+    every *simulated* result must be bit-for-bit identical — cycles,
+    instruction counts, per-class attribution, per-level cache stats,
+    EPC faults/evictions, loaded values, crash messages. The fast engine
+    may only change host wall-clock time. *)
+
+module Fastpath = Sb_machine.Fastpath
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+module Vmem = Sb_vmem.Vmem
+module Harness = Sb_harness.Harness
+module Registry = Sb_workloads.Registry
+
+let both f = (Fastpath.with_engine true f, Fastpath.with_engine false f)
+
+let check_int name a b = Alcotest.(check int) name b a
+
+let check_metrics where (f : Harness.metrics) (n : Harness.metrics) =
+  let at field = where ^ "." ^ field in
+  check_int (at "cycles") f.Harness.cycles n.Harness.cycles;
+  check_int (at "instrs") f.Harness.instrs n.Harness.instrs;
+  check_int (at "mem_accesses") f.Harness.mem_accesses n.Harness.mem_accesses;
+  check_int (at "llc_misses") f.Harness.llc_misses n.Harness.llc_misses;
+  check_int (at "epc_faults") f.Harness.epc_faults n.Harness.epc_faults;
+  check_int (at "epc_evictions") f.Harness.epc_evictions n.Harness.epc_evictions;
+  check_int (at "peak_vm") f.Harness.peak_vm n.Harness.peak_vm;
+  check_int (at "bts") f.Harness.bts n.Harness.bts;
+  check_int (at "quarantine") f.Harness.quarantine n.Harness.quarantine;
+  check_int (at "compute_cycles") f.Harness.compute_cycles n.Harness.compute_cycles;
+  check_int (at "checks_done") f.Harness.checks_done n.Harness.checks_done;
+  check_int (at "checks_elided") f.Harness.checks_elided n.Harness.checks_elided;
+  check_int (at "checks_hoisted") f.Harness.checks_hoisted n.Harness.checks_hoisted;
+  check_int (at "violations") f.Harness.violations n.Harness.violations;
+  List.iter2
+    (fun (c1, (s1 : Memsys.class_stat)) (c2, (s2 : Memsys.class_stat)) ->
+       let cls = Memsys.class_name c1 in
+       Alcotest.(check string) (at "attr class") (Memsys.class_name c2) cls;
+       check_int (at ("attr accesses:" ^ cls)) s1.Memsys.accesses s2.Memsys.accesses;
+       check_int (at ("attr cycles:" ^ cls)) s1.Memsys.cycles s2.Memsys.cycles)
+    f.Harness.attribution n.Harness.attribution;
+  List.iter2
+    (fun (l1, (s1 : Sb_cache.Hierarchy.level_stats))
+      (l2, (s2 : Sb_cache.Hierarchy.level_stats)) ->
+      Alcotest.(check string) (at "cache level") l2 l1;
+      check_int (at (l1 ^ " hits")) s1.Sb_cache.Hierarchy.hits s2.Sb_cache.Hierarchy.hits;
+      check_int (at (l1 ^ " misses")) s1.Sb_cache.Hierarchy.misses
+        s2.Sb_cache.Hierarchy.misses)
+    f.Harness.cache n.Harness.cache
+
+let check_outcome where fast naive =
+  match (fast, naive) with
+  | Harness.Completed f, Harness.Completed n -> check_metrics where f n
+  | Harness.Crashed f, Harness.Crashed n ->
+    Alcotest.(check string) (where ^ " crash message") n f
+  | Harness.Completed _, Harness.Crashed m ->
+    Alcotest.failf "%s: fast completed but naive crashed (%s)" where m
+  | Harness.Crashed m, Harness.Completed _ ->
+    Alcotest.failf "%s: fast crashed (%s) but naive completed" where m
+
+(* ------------------------------------------------------------------ *)
+(* Harness-level: full workloads under every scheme                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_workload ~scheme ~threads w =
+  let n = max 16 (w.Registry.default_n / 8) in
+  (Harness.run_one ~threads ~n ~scheme w).Harness.outcome
+
+let test_workloads () =
+  List.iter
+    (fun scheme ->
+       List.iter
+         (fun wname ->
+            let w = Registry.find wname in
+            let fast, naive = both (fun () -> run_workload ~scheme ~threads:1 w) in
+            check_outcome (scheme ^ "/" ^ wname) fast naive)
+         [ "kmeans"; "wordcount"; "mcf" ])
+    [ "native"; "sgxbounds"; "sgxbounds-noopt"; "asan"; "mpx"; "baggy" ]
+
+let test_workloads_mt () =
+  (* Multithreaded run: the cooperative scheduler's interleaving depends
+     on simulated clocks and yield points, so equality here proves the
+     fast engine preserves both exactly. *)
+  List.iter
+    (fun scheme ->
+       let w = Registry.find "pca" in
+       let fast, naive = both (fun () -> run_workload ~scheme ~threads:4 w) in
+       check_outcome (scheme ^ "/pca(t=4)") fast naive)
+    [ "native"; "sgxbounds"; "asan" ]
+
+(* ------------------------------------------------------------------ *)
+(* Memsys-level: access microkernel incl. EPC thrash                   *)
+(* ------------------------------------------------------------------ *)
+
+type probe = {
+  snap : Memsys.snapshot;
+  attr : (Memsys.access_class * Memsys.class_stat) list;
+  cache : (string * Sb_cache.Hierarchy.level_stats) list;
+  evictions : int;
+}
+
+let probe ms =
+  {
+    snap = Memsys.snapshot ms;
+    attr = Memsys.attribution ms;
+    cache = Memsys.cache_stats ms;
+    evictions = Memsys.epc_evictions ms;
+  }
+
+let check_probe where (f : probe) (n : probe) =
+  check_int (where ^ " cycles") f.snap.Memsys.cycles n.snap.Memsys.cycles;
+  check_int (where ^ " mem_accesses") f.snap.Memsys.mem_accesses
+    n.snap.Memsys.mem_accesses;
+  check_int (where ^ " llc_misses") f.snap.Memsys.llc_misses n.snap.Memsys.llc_misses;
+  check_int (where ^ " epc_faults") f.snap.Memsys.epc_faults n.snap.Memsys.epc_faults;
+  check_int (where ^ " epc_evictions") f.evictions n.evictions;
+  List.iter2
+    (fun (c, (s1 : Memsys.class_stat)) (_, (s2 : Memsys.class_stat)) ->
+       check_int (where ^ " attr " ^ Memsys.class_name c) s1.Memsys.accesses
+         s2.Memsys.accesses;
+       check_int (where ^ " attr-cyc " ^ Memsys.class_name c) s1.Memsys.cycles
+         s2.Memsys.cycles)
+    f.attr n.attr;
+  List.iter2
+    (fun (l, (s1 : Sb_cache.Hierarchy.level_stats))
+      (_, (s2 : Sb_cache.Hierarchy.level_stats)) ->
+      check_int (where ^ " " ^ l ^ " hits") s1.Sb_cache.Hierarchy.hits
+        s2.Sb_cache.Hierarchy.hits;
+      check_int (where ^ " " ^ l ^ " misses") s1.Sb_cache.Hierarchy.misses
+        s2.Sb_cache.Hierarchy.misses)
+    f.cache n.cache
+
+(* A microkernel touching every Memsys entry point, with an EPC smaller
+   than the working set so paging and eviction run. Returns checkpoints
+   (stats probes) and a digest of every value loaded. *)
+let memsys_kernel () =
+  (* 16 pages of EPC vs a 48-page working set: guaranteed thrash. *)
+  let ms = Memsys.create (Config.default ~epc_bytes:(16 * 4096) ()) in
+  let vm = Memsys.vmem ms in
+  let len = 48 * 4096 in
+  let a = Vmem.map vm ~len ~perm:Vmem.Read_write () in
+  let probes = ref [] in
+  let checkpoint () = probes := probe ms :: !probes in
+  let digest = ref 0 in
+  let note v = digest := (!digest * 31) + v in
+  (* hot-line hammer with class switches mid-streak *)
+  for i = 1 to 500 do
+    Memsys.store ms ~addr:a ~width:8 i;
+    note (Memsys.load ms ~addr:a ~width:8);
+    if i mod 7 = 0 then
+      note (Memsys.load ~cls:Memsys.Footer_meta ms ~addr:a ~width:4)
+  done;
+  checkpoint ();
+  (* sequential scan, all widths, including line-straddling accesses *)
+  let off = ref 0 in
+  while !off + 8 <= len do
+    Memsys.store ms ~addr:(a + !off) ~width:4 (!off land 0xFFFF);
+    note (Memsys.load ms ~addr:(a + !off) ~width:2);
+    (* unaligned width-8 access straddling a line boundary every 64 B *)
+    if !off mod 64 = 60 then note (Memsys.load ms ~addr:(a + !off) ~width:8);
+    off := !off + 12
+  done;
+  checkpoint ();
+  (* random loads across the whole (EPC-thrashing) working set *)
+  let rng = Sb_machine.Rng.create 99 in
+  for _ = 1 to 2000 do
+    let o = Sb_machine.Rng.int rng (len - 8) in
+    note (Memsys.load ms ~addr:(a + o) ~width:1)
+  done;
+  checkpoint ();
+  (* bulk ops + reset + reuse *)
+  Memsys.fill ms ~addr:a ~len:(len / 2) ~byte:0xAB;
+  Memsys.blit ms ~src:a ~dst:(a + (len / 2)) ~len:(len / 4);
+  note (Memsys.load ms ~addr:(a + (len / 2) + 100) ~width:8);
+  checkpoint ();
+  Memsys.reset ms;
+  for i = 0 to 200 do
+    Memsys.store ms ~addr:(a + (i * 64)) ~width:8 (i * 3);
+    note (Memsys.load ms ~addr:(a + (i * 64)) ~width:8)
+  done;
+  checkpoint ();
+  (List.rev !probes, !digest)
+
+let test_memsys_kernel () =
+  let (pf, df), (pn, dn) = both memsys_kernel in
+  check_int "loaded-value digest" df dn;
+  List.iteri
+    (fun i (f, n) -> check_probe (Printf.sprintf "checkpoint %d" i) f n)
+    (List.combine pf pn)
+
+(* ------------------------------------------------------------------ *)
+(* Vmem-level: values, faults and accounting                           *)
+(* ------------------------------------------------------------------ *)
+
+let vmem_kernel () =
+  let vm = Vmem.create (Config.default ()) in
+  let digest = ref 0 in
+  let note v = digest := (!digest * 31) + v in
+  let a = Vmem.map vm ~len:(3 * 4096) ~perm:Vmem.Read_write () in
+  (* all widths, signed values, page-straddling accesses *)
+  Vmem.store vm ~addr:a ~width:8 (-1);
+  note (Vmem.load vm ~addr:a ~width:8);
+  Vmem.store vm ~addr:(a + 4094) ~width:8 0x1122334455667788;
+  note (Vmem.load vm ~addr:(a + 4094) ~width:8);
+  Vmem.store vm ~addr:(a + 13) ~width:4 0xCAFEBABE;
+  note (Vmem.load vm ~addr:(a + 13) ~width:4);
+  Vmem.store vm ~addr:(a + 21) ~width:2 0xBEEF;
+  note (Vmem.load vm ~addr:(a + 21) ~width:2);
+  Vmem.store vm ~addr:(a + 23) ~width:1 0x7F;
+  note (Vmem.load vm ~addr:(a + 23) ~width:1);
+  (* min_int exercises the sign bit through the store codec *)
+  Vmem.store vm ~addr:(a + 64) ~width:8 min_int;
+  note (Vmem.load vm ~addr:(a + 64) ~width:8);
+  (* string round-trip across a page boundary *)
+  let s = String.init 300 (fun i -> Char.chr (i land 0xff)) in
+  Vmem.write_string vm ~addr:(a + 4000) s;
+  note (Hashtbl.hash (Vmem.read_string vm ~addr:(a + 4000) ~len:300));
+  (* unmap middle page, check fault + accounting *)
+  Vmem.unmap vm ~addr:(a + 4096) ~len:4096;
+  note (Vmem.reserved_bytes vm);
+  note (if Vmem.is_mapped vm (a + 4096) then 1 else 0);
+  (match Vmem.load vm ~addr:(a + 4096) ~width:1 with
+   | v -> note v
+   | exception Vmem.Fault _ -> note 4242);
+  (* write to a read-only page faults identically *)
+  let ro = Vmem.map vm ~len:4096 ~perm:Vmem.Read_only () in
+  (match Vmem.store vm ~addr:ro ~width:1 1 with
+   | () -> note 0
+   | exception Vmem.Fault _ -> note 777);
+  note (Vmem.reserved_bytes vm);
+  !digest
+
+let test_vmem_kernel () =
+  let df, dn = both vmem_kernel in
+  check_int "vmem digest" df dn
+
+let suite =
+  [
+    Alcotest.test_case "fast = naive: workloads x schemes" `Slow test_workloads;
+    Alcotest.test_case "fast = naive: multithreaded pca" `Slow test_workloads_mt;
+    Alcotest.test_case "fast = naive: memsys microkernel (EPC thrash)" `Quick
+      test_memsys_kernel;
+    Alcotest.test_case "fast = naive: vmem codecs, faults, accounting" `Quick
+      test_vmem_kernel;
+  ]

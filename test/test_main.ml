@@ -23,4 +23,5 @@ let () =
       ("fex", Test_fex.suite);
       ("narrowing", Test_narrowing.suite);
       ("differential", Test_differential.suite);
+      ("fastpath", Test_fastpath.suite);
     ]

@@ -4,19 +4,19 @@ module Config = Sb_machine.Config
 module Vmem = Sb_vmem.Vmem
 
 let test_epc_hit_after_fault () =
-  let e = Epc.create ~capacity_pages:4 in
+  let e = Epc.create ~capacity_pages:4 () in
   Alcotest.(check bool) "first touch faults" false (Epc.touch e ~page:1);
   Alcotest.(check bool) "then resident" true (Epc.touch e ~page:1)
 
 let test_epc_capacity_respected () =
-  let e = Epc.create ~capacity_pages:4 in
+  let e = Epc.create ~capacity_pages:4 () in
   for p = 0 to 9 do
     ignore (Epc.touch e ~page:p)
   done;
   Alcotest.(check int) "resident never exceeds capacity" 4 (Epc.resident_pages e)
 
 let test_epc_eviction_cycles () =
-  let e = Epc.create ~capacity_pages:2 in
+  let e = Epc.create ~capacity_pages:2 () in
   ignore (Epc.touch e ~page:1);
   ignore (Epc.touch e ~page:2);
   ignore (Epc.touch e ~page:3);            (* evicts someone *)
@@ -28,7 +28,7 @@ let test_epc_eviction_cycles () =
   Alcotest.(check bool) "thrash faults" true (Epc.faults e > 3)
 
 let test_epc_clear () =
-  let e = Epc.create ~capacity_pages:2 in
+  let e = Epc.create ~capacity_pages:2 () in
   ignore (Epc.touch e ~page:1);
   Epc.clear e;
   Alcotest.(check int) "cleared" 0 (Epc.resident_pages e);

@@ -202,4 +202,71 @@ let extra_suite =
     qtest prop_string_roundtrip;
   ]
 
-let suite = suite @ extra_suite
+(* PR 2 regressions: allocator scan accounting and the unmap contract. *)
+
+let page = Vmem.page_size
+let num_pages = (Vmem.addr_mask + 1) / page
+
+let test_find_gap_behind_long_run () =
+  (* Regression: the next-fit scan used to advance its give-up counter by
+     [npages] per candidate start, so walking a long mapped run burned
+     the whole budget and raised Enclave_oom while a real gap sat right
+     behind the run. A 4000-page blocker followed by a 256-page request
+     must find the gap just after the blocker. *)
+  let vm = create () in
+  let blocker = Vmem.map vm ~addr:(16 * page) ~len:(4000 * page) ~perm:Vmem.Read_write () in
+  Alcotest.(check int) "blocker at requested addr" (16 * page) blocker;
+  let a = Vmem.map vm ~len:(256 * page) ~perm:Vmem.Read_write () in
+  Alcotest.(check int) "gap found right behind the run" ((16 + 4000) * page) a
+
+let test_find_gap_wraps_past_top () =
+  (* Push the next-fit cursor to the very top of the address space, then
+     allocate: the scan must wrap, skip a blocker at the bottom, and
+     land just behind it — terminating rather than spinning or raising. *)
+  let vm = Vmem.create (cfg ~scale:1 ()) in
+  let chunk = 4096 in
+  (* One short of a full sweep: cursor ends at page 16 + 127*4096 with
+     fewer than [chunk] pages of headroom left above it. *)
+  for _ = 1 to (num_pages / chunk) - 1 do
+    let a = Vmem.map vm ~len:(chunk * page) ~perm:Vmem.Read_write () in
+    Vmem.unmap vm ~addr:a ~len:(chunk * page)
+  done;
+  ignore (Vmem.map vm ~addr:(16 * page) ~len:(64 * page) ~perm:Vmem.Read_write ());
+  (* [chunk] pages no longer fit above the cursor, so the scan must wrap
+     to the bottom and land right behind the blocker. *)
+  let a = Vmem.map vm ~len:(chunk * page) ~perm:Vmem.Read_write () in
+  Alcotest.(check int) "wrapped and skipped the blocker" (80 * page) a
+
+let test_unmap_holes_accounting () =
+  (* The documented contract: unmap is idempotent and hole-tolerant, and
+     reserved_bytes moves only for pages that were actually mapped. *)
+  let vm = create () in
+  let base = Vmem.reserved_bytes vm in
+  let a = Vmem.map vm ~len:(8 * page) ~perm:Vmem.Read_write () in
+  Alcotest.(check int) "8 pages reserved" (base + (8 * page)) (Vmem.reserved_bytes vm);
+  Vmem.unmap vm ~addr:(a + (3 * page)) ~len:(2 * page);
+  Alcotest.(check int) "hole releases exactly 2 pages" (base + (6 * page))
+    (Vmem.reserved_bytes vm);
+  (* Unmapping the whole range again releases only the 6 still mapped. *)
+  Vmem.unmap vm ~addr:a ~len:(8 * page);
+  Alcotest.(check int) "re-unmap over holes never double-frees" base
+    (Vmem.reserved_bytes vm);
+  Vmem.unmap vm ~addr:a ~len:(8 * page);
+  Alcotest.(check int) "unmap is idempotent" base (Vmem.reserved_bytes vm);
+  (* Remapping into the freed hole re-reserves exactly what was released. *)
+  let b = Vmem.map vm ~addr:(a + (3 * page)) ~len:(2 * page) ~perm:Vmem.Read_write () in
+  Alcotest.(check int) "remap lands in the hole" (a + (3 * page)) b;
+  Alcotest.(check int) "remap re-reserves exactly 2 pages" (base + (2 * page))
+    (Vmem.reserved_bytes vm)
+
+let pr2_suite =
+  [
+    Alcotest.test_case "find_gap: gap behind a long mapped run" `Quick
+      test_find_gap_behind_long_run;
+    Alcotest.test_case "find_gap: wraps past the top and terminates" `Quick
+      test_find_gap_wraps_past_top;
+    Alcotest.test_case "unmap: holes, idempotence, reserved accounting" `Quick
+      test_unmap_holes_accounting;
+  ]
+
+let suite = suite @ extra_suite @ pr2_suite
