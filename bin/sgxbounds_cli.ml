@@ -294,10 +294,87 @@ let validate_bench_cmd =
              as JSON and carry numeric sim_maps and speedup_vs_naive keys.")
     Term.(const run $ file_arg)
 
+let fuzz_cmd =
+  let module Fuzz = Sb_fuzz.Fuzz in
+  let module Trace = Sb_fuzz.Trace in
+  let run seed iters shrink bad inject quiet =
+    if iters < 1 then die "--iters must be >= 1";
+    if bad < 0.0 || bad > 1.0 then die "--bad must be in [0, 1]";
+    let specs =
+      match inject with
+      | None -> Fuzz.default_specs ()
+      | Some name -> (
+          match Sb_protection.Faulty.fault_of_string name with
+          | None ->
+            die "unknown fault '%s'.@.Valid faults: %s" name
+              (String.concat ", " Sb_protection.Faulty.fault_names)
+          | Some fault ->
+            (* Graft the fault onto sgxbounds; its contract still holds
+               it to the unbroken scheme's standard, so the campaign
+               must fail — the harness's own sanity check. *)
+            List.map
+              (fun (sp : Fuzz.spec) ->
+                 if sp.Fuzz.sp_name = "sgxbounds" then
+                   { sp with
+                     Fuzz.sp_maker = (fun m -> Sb_protection.Faulty.inject fault (sp.Fuzz.sp_maker m)) }
+                 else sp)
+              (Fuzz.default_specs ()))
+    in
+    let params = { Trace.default_params with Trace.p_bad = bad } in
+    let progress i =
+      if (not quiet) && i mod 100 = 0 then Fmt.epr "fuzz: %d/%d traces ok@." i iters
+    in
+    let report = Fuzz.campaign ~specs ~params ~progress ~shrink ~seed ~iters () in
+    match report.Fuzz.rp_counterexample with
+    | None ->
+      Fmt.pr "fuzz: %d traces (%d events) x %d schemes x 2 engines: all invariants held \
+              (seed %d)@."
+        report.Fuzz.rp_ran report.Fuzz.rp_events (List.length report.Fuzz.rp_schemes) seed
+    | Some cx ->
+      Fmt.pr "fuzz: FAILED at iteration %d (seed %d)@." cx.Fuzz.cx_iter seed;
+      Fmt.pr "  %a@." Fuzz.pp_failure cx.Fuzz.cx_failure;
+      Fmt.pr "  original trace: %d events; shrunk counterexample (%d events):@."
+        (Array.length cx.Fuzz.cx_trace) (Array.length cx.Fuzz.cx_shrunk);
+      Fmt.pr "%s" (Trace.to_string cx.Fuzz.cx_shrunk);
+      Fmt.pr "  replay with: %s%s@." (Fuzz.replay_command ~seed cx)
+        (match inject with Some f -> " --inject " ^ f | None -> "");
+      exit 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (deterministic).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 500 & info [ "iters" ] ~docv:"N" ~doc:"Number of traces to generate.")
+  in
+  let shrink_arg =
+    Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL"
+           ~doc:"Shrink a failing trace to a minimal counterexample.")
+  in
+  let bad_arg =
+    Arg.(value & opt float 0.5 & info [ "bad" ] ~docv:"P"
+           ~doc:"Fraction of traces seeded with deliberate violations.")
+  in
+  let inject_arg =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT"
+           ~doc:"Break sgxbounds on purpose (elide-checks, deaf-libc); the campaign must \
+                 then fail — a self-test of the fuzzer.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: replay random seeded traces through every protection \
+             scheme under both memory engines and check them against a ground-truth \
+             oracle (engines bit-for-bit equal; zero false positives; no missed \
+             in-contract violations). On failure, prints a shrunk counterexample and \
+             the exact replay command, and exits 1.")
+    Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ bad_arg $ inject_arg $ quiet_arg)
+
 let () =
   let info = Cmd.info "sgxbounds_cli" ~doc:"SGXBounds reproduction driver" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd;
-            validate_bench_cmd ]))
+            validate_bench_cmd; fuzz_cmd ]))

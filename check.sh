@@ -14,7 +14,15 @@ dune build --profile release
 echo "== dune runtest"
 dune runtest
 
+echo "== dune runtest (naive memory engine)"
+SGXBOUNDS_NAIVE=1 dune runtest --force
+
 CLI="_build/default/bin/sgxbounds_cli.exe"
+
+echo "== fuzz smoke: 500 traces x all schemes x both engines"
+# Deterministic in the seed; on failure the CLI prints the shrunk
+# counterexample and the exact replay command.
+"$CLI" fuzz --seed 1 --iters 500 -q
 
 echo "== CLI smoke: run -w kmeans -s sgxbounds --stats --json"
 out=$("$CLI" run -w kmeans -s sgxbounds --stats --json)

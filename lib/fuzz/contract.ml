@@ -1,0 +1,85 @@
+(** Per-scheme detection contracts: which oracle-flagged ranges a scheme
+    is {e guaranteed} to detect. This is the capability table the
+    third fuzz invariant checks against — deliberately the {b minimum}
+    each scheme promises, derived from its mechanism, not the best case
+    it sometimes achieves:
+
+    - {b native}: promises nothing. (The MMU may still crash a wild
+      access; the driver accepts any stop at-or-after the first unsafe
+      event from every scheme.)
+    - {b sgxbounds} (all variants): any {e upper} overflow,
+      [off + len > size], in every access family including libc
+      wrappers. The upper bound travels in the pointer's spare tag bits,
+      so it survives free and cannot be clobbered by earlier corruption.
+      The {e lower} bound lives in the LB footer — in-object data that a
+      use-after-free write may have overwritten — so underflow detection
+      is real but only best-effort ("may", not "must"). In boundless
+      mode violations are counted rather than raised (libc wrappers
+      still fail-stop, §3.4).
+    - {b asan}: any range intersecting a redzone: [[-16, 0)] or
+      [[size, size + 16)] around a live object (the partial-granule
+      shadow encoding catches the tail bytes), or anywhere in
+      [[-16, size + 16)] of a freed object — quarantine keeps freed
+      chunks poisoned for the whole (small) trace. Beyond the redzone
+      ASan is blind by design: the access lands on some other valid
+      object or crashes.
+    - {b mpx}: any spatially bad range through an instrumented access —
+      bounds ride in registers, immune to memory corruption and free.
+      But the paper's MPX setup has no libc interceptors (§5.3), so
+      wrapper traffic is exempt.
+    - {b baggy}: allocation-bounds only: a range that starts inside the
+      live object's power-of-two buddy block and runs past the block's
+      end. Overflows swallowed by the block padding, accesses starting
+      outside the block, and freed objects (the size table is zeroed,
+      usually detected — but reuse can repopulate it) are best-effort.
+      Hoisted loops degrade to per-element checks whose out-of-block
+      elements start outside the block, so they are exempt too.
+
+    [Safe_access] ranges (compiler-proven in-bounds, checks elided) are
+    exempt everywhere: a trace that violates one has broken the
+    compiler's proof, not the scheme. *)
+
+open Oracle
+
+let asan_redzone = 16
+
+(* Does [r] intersect the half-open offset interval [lo, hi)? *)
+let intersects r lo hi = r.r_off < hi && r.r_off + r.r_len > lo
+
+(* "sgxbounds-noopt" -> "sgxbounds"; the detection floor is identical
+   across optimization variants (§4.4 optimizations never weaken
+   checks: elided safe accesses are exempt for everyone, and unchecked
+   loop bodies are covered by the hoisted range check or stay checked). *)
+let base_scheme name =
+  match String.index_opt name '-' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let covers ~scheme (r : range) =
+  is_bad r && r.r_kind <> Safe_access
+  &&
+  match base_scheme scheme with
+  | "native" -> false
+  | "sgxbounds" -> r.r_off + r.r_len > r.r_size
+  | "asan" ->
+    if r.r_freed then intersects r (-asan_redzone) (r.r_size + asan_redzone)
+    else
+      intersects r (-asan_redzone) 0 || intersects r r.r_size (r.r_size + asan_redzone)
+  | "mpx" -> r.r_kind <> Libc && spatial_bad r
+  | "baggy" ->
+    (not r.r_freed) && r.r_kind <> Hoisted
+    && r.r_off >= 0 && r.r_off < r.r_block
+    && r.r_off + r.r_len > r.r_block
+  | _ -> false
+
+(** Index of the first event containing a range [scheme] must detect. *)
+let first_covered ~scheme (plan : plan) =
+  let n = Array.length plan.p_dispositions in
+  let rec go i =
+    if i >= n then None
+    else
+      match plan.p_dispositions.(i) with
+      | Exec x when List.exists (fun r -> covers ~scheme r) x.x_ranges -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0

@@ -1,0 +1,263 @@
+(** Ground truth for the fuzzer: a trivial model of every object's exact
+    bounds and liveness, independent of any protection scheme.
+
+    [analyze] walks a trace once and produces a {!plan}:
+
+    - a {b disposition} per event — [Skip] for events that do not apply
+      to the current slot state (so any event subsequence is a
+      well-formed trace; see {!Trace}), or [Exec] with the exact byte
+      ranges the event will touch, labelled with the object's size,
+      Baggy block size, liveness and access family;
+    - [first_unsafe], the index of the first event touching any unsafe
+      range. Replays of the same plan are byte-identical across schemes
+      {e up to} this point; beyond it the application is corrupt and
+      only per-scheme invariants apply;
+    - per-event {b comparability masks} for the values the replay reads:
+      a read is comparable across schemes only while the trace is still
+      safe and the bytes are {e defined} — written since allocation
+      (calloc/Store/Memcpy/Strcpy), not realloc slack or stale reuse,
+      whose contents legitimately differ between allocator layouts.
+
+    The replay ({!Replay}) executes dispositions verbatim and never
+    consults slot state itself, so oracle and replay cannot disagree on
+    which events run. *)
+
+type verdict = Safe | Overflow | Use_after_free
+
+(** How the access reaches memory — decides which schemes' contracts
+    apply ({!Contract}). [Safe_access] models compiler-proven-in-bounds
+    accesses: no scheme owes a detection there. *)
+type kind = Direct | Safe_access | Hoisted | Libc
+
+type range = {
+  r_off : int;    (** byte offset from object base *)
+  r_len : int;
+  r_size : int;   (** exact object size at event time *)
+  r_block : int;  (** Baggy buddy block covering the object *)
+  r_kind : kind;
+  r_freed : bool; (** object was freed (and not reallocated) *)
+}
+
+let spatial_bad r = r.r_off < 0 || r.r_off + r.r_len > r.r_size
+
+let range_verdict r =
+  if r.r_freed then Use_after_free
+  else if spatial_bad r then Overflow
+  else Safe
+
+let is_bad r = range_verdict r <> Safe
+
+type exec = {
+  x_ranges : range list;
+  x_strcpy_n : int;        (** chars the strcpy will copy; -1 otherwise *)
+  x_compare : bool array;  (** per value read by the replay, in order *)
+}
+
+type disposition = Skip | Exec of exec
+
+type plan = {
+  p_slots : int;
+  p_dispositions : disposition array;
+  p_first_unsafe : int option;
+}
+
+(** Oracle label for event [i], for reporting. *)
+let event_label plan i =
+  match plan.p_dispositions.(i) with
+  | Skip -> "skip"
+  | Exec x ->
+    let worst =
+      List.fold_left
+        (fun acc r ->
+           match (acc, range_verdict r) with
+           | (Use_after_free, _) | (_, Use_after_free) -> Use_after_free
+           | (Overflow, _) | (_, Overflow) -> Overflow
+           | (Safe, Safe) -> Safe)
+        Safe x.x_ranges
+    in
+    (match worst with
+     | Safe -> "safe"
+     | Overflow -> "overflow"
+     | Use_after_free -> "use-after-free")
+
+(* ------------------------------------------------------------------ *)
+
+type obj = {
+  o_size : int;
+  o_region : Trace.region;
+  o_block : int;
+  o_def : Bytes.t; (* '\001' = byte written since allocation *)
+}
+
+type slot = Empty | Live of obj | Freed of obj
+
+(* Baggy pads every object to a power-of-two buddy block of >= 16 bytes
+   (its size-table granule); the block size decides its allocation-bounds
+   tolerance. *)
+let block_of size = Sb_machine.Util.next_pow2 (max size 16)
+
+let slot_count (trace : Trace.t) =
+  let id = function
+    | Trace.Alloc { id; _ } | Free { id } | Realloc { id; size = _ }
+    | Load { id; _ } | Store { id; _ } | Range_loop { id; _ } -> id
+    | Memcpy { dst; src; _ } | Strcpy { dst; src; _ } -> max dst src
+    | Yield -> 0
+  in
+  Array.fold_left (fun m e -> max m (id e + 1)) 1 trace
+
+(* The deterministic byte pattern Strcpy plants at src (replay uses the
+   same one). Never 0, so the terminator lands exactly at [n]. *)
+let plant_byte i = 0x41 + (i mod 26)
+
+let analyze ?slots (trace : Trace.t) : plan =
+  let nslots = match slots with Some n -> n | None -> slot_count trace in
+  let st = Array.make nslots Empty in
+  let first_unsafe = ref None in
+  let mk_obj size region =
+    { o_size = size; o_region = region; o_block = block_of size; o_def = Bytes.make size '\001' }
+  in
+  let range ?(kind = Direct) o freed off len =
+    { r_off = off; r_len = len; r_size = o.o_size; r_block = o.o_block; r_kind = kind;
+      r_freed = freed }
+  in
+  let in_bounds o off len = off >= 0 && len >= 0 && off + len <= o.o_size in
+  let defined o off len =
+    let rec go i = i >= len || (Bytes.get o.o_def (off + i) = '\001' && go (i + 1)) in
+    in_bounds o off len && go 0
+  in
+  let define o off len =
+    if in_bounds o off len then Bytes.fill o.o_def off len '\001'
+  in
+  let get id = if id >= 0 && id < nslots then st.(id) else Empty in
+  let exec ?(strcpy_n = -1) ?(compare = [||]) ranges =
+    Exec { x_ranges = ranges; x_strcpy_n = strcpy_n; x_compare = compare }
+  in
+  let dispose ev =
+    let safe_so_far = !first_unsafe = None in
+    match ev with
+    | Trace.Yield -> exec []
+    | Trace.Alloc { id; size; region } -> (
+        if size < 1 then Skip
+        else
+          match get id with
+          | Live _ -> Skip (* would leak the old object's identity *)
+          | Empty | Freed _ ->
+            (* Heap comes from calloc; the replay raw-zeroes global and
+               stack blocks so contents match across allocators. Either
+               way every byte is defined zero. *)
+            st.(id) <- Live (mk_obj size region);
+            exec [])
+    | Trace.Free { id } -> (
+        match get id with
+        | Live o when o.o_region = Trace.Heap ->
+          st.(id) <- Freed o;
+          exec []
+        | _ -> Skip (* double free / free of global-stack: UB the schemes
+                       legitimately disagree on, so never replayed *))
+    | Trace.Realloc { id; size } -> (
+        match get id with
+        | Live o when o.o_region = Trace.Heap && size >= 1 ->
+          let o' = mk_obj size Trace.Heap in
+          Bytes.fill o'.o_def 0 size '\000';
+          let keep = min o.o_size size in
+          Bytes.blit o.o_def 0 o'.o_def 0 keep;
+          st.(id) <- Live o';
+          exec []
+        | _ -> Skip)
+    | Trace.Load { id; off; width; safe } -> (
+        match get id with
+        | Empty -> Skip
+        | Live o | Freed o ->
+          let freed = get id |> function Freed _ -> true | _ -> false in
+          let kind = if safe then Safe_access else Direct in
+          let r = range ~kind o freed off width in
+          let comparable = safe_so_far && (not freed) && defined o off width in
+          exec ~compare:[| comparable |] [ r ])
+    | Trace.Store { id; off; width; value = _; safe } -> (
+        match get id with
+        | Empty -> Skip
+        | Live o | Freed o ->
+          let freed = get id |> function Freed _ -> true | _ -> false in
+          let kind = if safe then Safe_access else Direct in
+          let r = range ~kind o freed off width in
+          if safe_so_far && (not freed) && not (is_bad r) then define o off width;
+          exec [ r ])
+    | Trace.Range_loop { id; off; len } -> (
+        match get id with
+        | Empty -> Skip
+        | Live o | Freed o ->
+          let freed = get id |> function Freed _ -> true | _ -> false in
+          if len <= 0 then exec []
+          else
+            let r = range ~kind:Hoisted o freed off len in
+            let compare =
+              Array.init len (fun j ->
+                  safe_so_far && (not freed) && defined o (off + j) 1)
+            in
+            exec ~compare [ r ])
+    | Trace.Memcpy { dst; dst_off; src; src_off; len } -> (
+        match (get dst, get src) with
+        | (Empty, _) | (_, Empty) -> Skip
+        | (dslot, sslot) ->
+          if len < 0 then Skip
+          else if len = 0 then exec [] (* wrappers don't even check *)
+          else
+            let dobj = (match dslot with Live o | Freed o -> o | Empty -> assert false) in
+            let sobj = (match sslot with Live o | Freed o -> o | Empty -> assert false) in
+            let dfreed = (match dslot with Freed _ -> true | _ -> false) in
+            let sfreed = (match sslot with Freed _ -> true | _ -> false) in
+            let rs = range ~kind:Libc sobj sfreed src_off len in
+            let rd = range ~kind:Libc dobj dfreed dst_off len in
+            if safe_so_far && (not (is_bad rs)) && not (is_bad rd) then
+              for j = 0 to len - 1 do
+                let d = Bytes.get sobj.o_def (src_off + j) in
+                Bytes.set dobj.o_def (dst_off + j) d
+              done;
+            exec [ rs; rd ])
+    | Trace.Strcpy { dst; src; len } -> (
+        match (get dst, get src) with
+        | (dslot, Live sobj) -> (
+            match dslot with
+            | Empty -> Skip
+            | Live dobj | Freed dobj ->
+              if len < 0 then Skip
+              else begin
+                (* Planting writes [n] bytes + NUL raw at src's base; the
+                   copy length is discovered from that terminator. The
+                   plant must stay inside the live src so it cannot
+                   corrupt unrelated objects under any layout. *)
+                let n = min len (sobj.o_size - 1) in
+                let dfreed = (match dslot with Freed _ -> true | _ -> false) in
+                let rs = range ~kind:Libc sobj false 0 (n + 1) in
+                let rd = range ~kind:Libc dobj dfreed 0 (n + 1) in
+                define sobj 0 (n + 1);
+                if safe_so_far && not (is_bad rd) then define dobj 0 (n + 1);
+                exec ~strcpy_n:n [ rs; rd ]
+              end)
+        | _ -> Skip (* src must be live: planting into freed memory could
+                       scribble over whatever reused the chunk *))
+  in
+  let dispositions =
+    Array.mapi
+      (fun i ev ->
+         let d = dispose ev in
+         (match d with
+          | Exec x when List.exists is_bad x.x_ranges ->
+            if !first_unsafe = None then first_unsafe := Some i
+          | _ -> ());
+         d)
+      trace
+  in
+  (* From the first unsafe event on, schemes legitimately stop at
+     different points within an event and memory contents diverge, so no
+     read value is comparable across schemes any more (the event at the
+     index included: a stopping scheme logs fewer of its reads). *)
+  (match !first_unsafe with
+   | None -> ()
+   | Some u ->
+     for i = u to Array.length dispositions - 1 do
+       match dispositions.(i) with
+       | Skip -> ()
+       | Exec x -> Array.fill x.x_compare 0 (Array.length x.x_compare) false
+     done);
+  { p_slots = nslots; p_dispositions = dispositions; p_first_unsafe = !first_unsafe }

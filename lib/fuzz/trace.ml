@@ -1,0 +1,212 @@
+(** Random memory-access traces for the differential fuzzer.
+
+    A trace is a flat list of allocator and access events over a fixed
+    number of object {i slots}. Events name objects by slot id, never by
+    address, so the same trace replays against any protection scheme and
+    any allocator layout. Offsets are relative to the object base;
+    deliberately out-of-bounds offsets are how the generator plants
+    violations for the oracle ({!Oracle}) to label.
+
+    Any event array is a valid trace: events that do not apply to the
+    current slot state (access to a never-allocated slot, free of a
+    non-live slot, ...) are marked [Skip] by the oracle and not replayed.
+    That closure under taking subsequences is what makes greedy trace
+    shrinking sound ({!Fuzz.shrink}). *)
+
+type region = Heap | Global | Stack
+
+type event =
+  | Alloc of { id : int; size : int; region : region }
+  | Free of { id : int }                      (* heap only *)
+  | Realloc of { id : int; size : int }       (* heap only *)
+  | Load of { id : int; off : int; width : int; safe : bool }
+  | Store of { id : int; off : int; width : int; value : int; safe : bool }
+      (** [safe]: replay through [safe_load]/[safe_store] — the
+          compiler-proven-in-bounds family whose checks §4.4 schemes
+          elide. The generator only marks oracle-safe accesses safe. *)
+  | Memcpy of { dst : int; dst_off : int; src : int; src_off : int; len : int }
+  | Strcpy of { dst : int; src : int; len : int }
+      (** Plant a [len]-byte string (plus NUL) at [src]'s base, then
+          [Simlibc.strcpy] it to [dst] — the classic overflow primitive:
+          the copied length comes from the terminator, not the caller. *)
+  | Range_loop of { id : int; off : int; len : int }
+      (** [check_range] once, then [len] one-byte unchecked loads —
+          the hoisted-check loop pattern of §4.4. *)
+  | Yield  (* switch simulated threads *)
+
+type t = event array
+
+let region_name = function Heap -> "heap" | Global -> "global" | Stack -> "stack"
+
+let pp_event ppf = function
+  | Alloc { id; size; region } ->
+    Format.fprintf ppf "alloc #%d %db %s" id size (region_name region)
+  | Free { id } -> Format.fprintf ppf "free #%d" id
+  | Realloc { id; size } -> Format.fprintf ppf "realloc #%d %db" id size
+  | Load { id; off; width; safe } ->
+    Format.fprintf ppf "%s #%d[%d] w%d" (if safe then "safe-load" else "load") id off width
+  | Store { id; off; width; value; safe } ->
+    Format.fprintf ppf "%s #%d[%d] w%d <- %#x"
+      (if safe then "safe-store" else "store") id off width value
+  | Memcpy { dst; dst_off; src; src_off; len } ->
+    Format.fprintf ppf "memcpy #%d[%d] <- #%d[%d] %db" dst dst_off src src_off len
+  | Strcpy { dst; src; len } -> Format.fprintf ppf "strcpy #%d <- #%d (%d chars)" dst src len
+  | Range_loop { id; off; len } -> Format.fprintf ppf "range-loop #%d[%d..+%d]" id off len
+  | Yield -> Format.fprintf ppf "yield"
+
+let pp ppf (t : t) =
+  Array.iteri (fun i ev -> Format.fprintf ppf "%3d: %a@." i pp_event ev) t
+
+let to_string (t : t) = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+module Rng = Sb_machine.Rng
+
+type params = {
+  slots : int;      (** object slots available to the trace *)
+  max_size : int;   (** largest object, bytes *)
+  max_events : int;
+  p_bad : float;    (** fraction of traces that contain deliberate violations *)
+}
+
+let default_params = { slots = 8; max_size = 160; max_events = 40; p_bad = 0.5 }
+
+let widths = [| 1; 2; 4; 8 |]
+
+(* Deliberately-bad offset for an object of [size], to be accessed with
+   [width] bytes. Kept within +-2 KiB of the object so a wild access can
+   stray into neighbouring mappings (or an unmapped hole) but never as
+   far as a scheme's own metadata arenas — corrupting those would make
+   post-violation behaviour layout-dependent rather than a modelled
+   miss. *)
+let bad_off rng size width =
+  match Rng.int rng 4 with
+  | 0 -> size - width + 1 + Rng.int rng 8 (* just past the end *)
+  | 1 -> -(1 + Rng.int rng 8)             (* just before the start *)
+  | 2 -> size + 16 + Rng.int rng 64       (* past any redzone/padding *)
+  | _ ->
+    let m = 256 + Rng.int rng 1792 in
+    if Rng.bernoulli rng 0.3 then -m else size + m
+
+(* The generator mirrors the slot state machine of the oracle just
+   closely enough to (almost) always emit applicable events; the oracle
+   stays the single authority on which events actually execute. *)
+type gslot = Gempty | Glive of int * region | Gfreed of int
+
+let generate ?(params = default_params) rng : t =
+  let st = Array.make params.slots Gempty in
+  let ids pred =
+    let r = ref [] in
+    Array.iteri (fun i s -> if pred s then r := i :: !r) st;
+    !r
+  in
+  let pick_id pred = match ids pred with [] -> None | l -> Some (List.nth l (Rng.int rng (List.length l))) in
+  let live = function Glive _ -> true | _ -> false in
+  let live_heap = function Glive (_, Heap) -> true | _ -> false in
+  let size_of id = match st.(id) with Glive (s, _) | Gfreed s -> s | Gempty -> 0 in
+  let bad_trace = Rng.bernoulli rng params.p_bad in
+  let n_events = Rng.range rng (params.max_events / 4) params.max_events in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let fresh_size () = 1 + Rng.int rng params.max_size in
+  let alloc () =
+    match pick_id (fun s -> s = Gempty) with
+    | None -> ()
+    | Some id ->
+      let region =
+        match Rng.int rng 4 with 0 -> Global | 1 -> Stack | _ -> Heap
+      in
+      let size = fresh_size () in
+      st.(id) <- Glive (size, region);
+      emit (Alloc { id; size; region })
+  in
+  let access () =
+    (* Sometimes target a dangling pointer in bad traces. *)
+    let target =
+      if bad_trace && Rng.bernoulli rng 0.2 then
+        match pick_id (function Gfreed _ -> true | _ -> false) with
+        | Some id -> Some id
+        | None -> pick_id live
+      else pick_id live
+    in
+    match target with
+    | None -> alloc ()
+    | Some id ->
+      let size = size_of id in
+      let width = Rng.pick rng widths in
+      let uaf = not (live st.(id)) in
+      let spatial = (not uaf) && bad_trace && Rng.bernoulli rng 0.25 in
+      let width = if spatial || size >= width then width else 1 in
+      let off =
+        if spatial then bad_off rng size width
+        else Rng.int rng (size - width + 1) (* in-bounds (of a live or freed object) *)
+      in
+      let safe = (not spatial) && (not uaf) && Rng.bernoulli rng 0.25 in
+      if Rng.bernoulli rng 0.5 then emit (Load { id; off; width; safe })
+      else
+        emit (Store { id; off; width; value = Rng.int rng 0xFFFF; safe })
+  in
+  let memcpy () =
+    match (pick_id live, pick_id live) with
+    | Some src, Some dst ->
+      let ss = size_of src and ds = size_of dst in
+      let src_off = Rng.int rng ss and dst_off = Rng.int rng ds in
+      let len =
+        if bad_trace && Rng.bernoulli rng 0.3 then 1 + Rng.int rng (ss + 32)
+        else max 1 (min (ss - src_off) (ds - dst_off))
+      in
+      emit (Memcpy { dst; dst_off; src; src_off; len })
+    | _ -> alloc ()
+  in
+  let strcpy () =
+    match (pick_id live, pick_id live) with
+    | Some src, Some dst ->
+      let ss = size_of src and ds = size_of dst in
+      let len =
+        if bad_trace && Rng.bernoulli rng 0.4 then Rng.int rng ss
+        else min (Rng.int rng ss) (max 0 (ds - 1))
+      in
+      emit (Strcpy { dst; src; len })
+    | _ -> alloc ()
+  in
+  let range_loop () =
+    match pick_id live with
+    | None -> alloc ()
+    | Some id ->
+      let size = size_of id in
+      let bad = bad_trace && Rng.bernoulli rng 0.3 in
+      let off, len =
+        if bad then
+          let off = Rng.int rng size in
+          (off, size - off + 1 + Rng.int rng 24)
+        else
+          let off = Rng.int rng size in
+          (off, 1 + Rng.int rng (size - off))
+      in
+      emit (Range_loop { id; off; len })
+  in
+  for _ = 1 to n_events do
+    if ids live = [] then alloc ()
+    else
+      match Rng.int rng 100 with
+      | n when n < 20 -> alloc ()
+      | n when n < 30 -> (
+          match pick_id live_heap with
+          | Some id -> st.(id) <- Gfreed (size_of id); emit (Free { id })
+          | None -> access ())
+      | n when n < 36 -> (
+          match pick_id live_heap with
+          | Some id ->
+            let size = fresh_size () in
+            st.(id) <- Glive (size, Heap);
+            emit (Realloc { id; size })
+          | None -> access ())
+      | n when n < 78 -> access ()
+      | n when n < 86 -> memcpy ()
+      | n when n < 92 -> strcpy ()
+      | n when n < 97 -> range_loop ()
+      | _ -> emit Yield
+  done;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,40 @@
+(** Small lock-free free-lists for expensive flat arrays.
+
+    Creating a simulated machine allocates a handful of multi-megabyte
+    arrays (the dense Vmem page table, the EPC residency table). Code
+    that churns through many short-lived machines — the differential
+    fuzzer replays every trace on a fresh machine per scheme per engine
+    — spends more time zero-filling those arrays than simulating. A
+    [Pool.t] lets a machine's owner hand the arrays back ([Vmem.retire],
+    [Epc.retire], [Memsys.retire]) so the next [create] reuses them.
+
+    The pool is a Treiber stack over an immutable list in an [Atomic],
+    so it is safe to share across domains (the parallel runner creates
+    machines concurrently). ABA is not a concern: cons cells are freshly
+    allocated on every push, so a stale compare-and-set always fails.
+    The pool is bounded; when full, [put] drops the value on the floor
+    and lets the GC have it. Callers must only [put] values they have
+    re-initialised to the state [get]'s consumers expect — the pool
+    itself never inspects them. *)
+
+type 'a t = { items : 'a list Atomic.t; max : int }
+
+let create ?(max = 8) () = { items = Atomic.make []; max }
+
+let rec put t x =
+  let cur = Atomic.get t.items in
+  if List.length cur >= t.max then ()
+  else if not (Atomic.compare_and_set t.items cur (x :: cur)) then put t x
+
+(** [get t ~validate mk] pops a pooled value satisfying [validate]
+    (non-conforming entries are discarded), or builds a fresh one with
+    [mk]. *)
+let rec get t ~validate mk =
+  match Atomic.get t.items with
+  | [] -> mk ()
+  | x :: rest as cur ->
+    if Atomic.compare_and_set t.items cur rest then
+      if validate x then x else get t ~validate mk
+    else get t ~validate mk
+
+let size t = List.length (Atomic.get t.items)

@@ -34,6 +34,15 @@ let range t lo hi =
 (** True with probability [p]. *)
 let bernoulli t p = float t < p
 
+(** [split t] derives a fresh independent seed from [t]'s stream, for
+    seeding a child generator whose consumption must not perturb the
+    parent's sequence (e.g. one child per fuzz iteration, so iteration
+    [i] is replayable without re-running iterations [0..i-1]'s draws). *)
+let split t = Int64.to_int (next_int64 t) land max_int
+
+(** [pick t arr] is a uniformly chosen element of [arr]. *)
+let pick t arr = arr.(int t (Array.length arr))
+
 (** A zipf-ish skewed key pick in [0, n): 80% of draws land in the first
     20% of the space, recursively. Cheap stand-in for memcached key
     popularity distributions. *)

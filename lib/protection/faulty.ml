@@ -1,0 +1,42 @@
+(** Fault injection: deliberately broken wrappers around a working
+    {!Scheme.t}.
+
+    The fuzzer's harness-sanity check: a differential tester that has
+    never been seen to catch a broken checker proves nothing. Wrapping a
+    real scheme with one of these faults must make the fuzz campaign
+    report a missed violation and shrink it to a tiny counterexample
+    (pinned in [test/test_fuzz.ml]). *)
+
+type fault =
+  | Elide_every_nth of int
+      (** every n-th instrumented load/store skips its bounds check —
+          the shape of a miscompiled or raced check elision *)
+  | Deaf_libc  (** libc wrappers check nothing — the paper's MPX setup,
+                   grafted onto a scheme whose contract says otherwise *)
+
+let fault_of_string = function
+  | "elide-checks" -> Some (Elide_every_nth 3)
+  | "deaf-libc" -> Some Deaf_libc
+  | _ -> None
+
+let fault_names = [ "elide-checks"; "deaf-libc" ]
+
+(** [inject fault s] returns [s] with the fault grafted on. The wrapper
+    keeps its own deterministic counter, so the same trace replayed
+    twice (or under both engines) elides the same accesses. *)
+let inject fault (s : Scheme.t) : Scheme.t =
+  match fault with
+  | Elide_every_nth n ->
+    let k = ref 0 in
+    {
+      s with
+      load =
+        (fun p w ->
+           incr k;
+           if !k mod n = 0 then s.load_unchecked p w else s.load p w);
+      store =
+        (fun p w v ->
+           incr k;
+           if !k mod n = 0 then s.store_unchecked p w v else s.store p w v);
+    }
+  | Deaf_libc -> { s with libc_check = (fun _ _ _ -> ()) }

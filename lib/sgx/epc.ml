@@ -15,7 +15,7 @@ type t = {
      table's range (garbage addresses reach the EPC before Vmem faults
      them). Length 0 when naive or when the address-space size was not
      supplied. *)
-  page_table : int array;
+  mutable page_table : int array;  (* [||] after [retire] *)
   mutable hand : int;
   mutable used : int;
   mutable faults : int;
@@ -31,6 +31,10 @@ type t = {
   fast : bool;
 }
 
+(* Retired direct-mapped residency tables, all -1 by construction (see
+   [retire]), shared across instances and domains. *)
+let table_pool : int array Sb_machine.Pool.t = Sb_machine.Pool.create ~max:8 ()
+
 let create ?(num_pages = 0) ~capacity_pages () =
   let capacity = max 1 capacity_pages in
   let fast = Sb_machine.Fastpath.is_enabled () in
@@ -40,7 +44,11 @@ let create ?(num_pages = 0) ~capacity_pages () =
     refbit = Bytes.make capacity '\000';
     index = Hashtbl.create (capacity * 2);
     page_table =
-      (if fast && num_pages > 0 then Array.make num_pages (-1) else [||]);
+      (if fast && num_pages > 0 then
+         Sb_machine.Pool.get table_pool
+           ~validate:(fun a -> Array.length a = num_pages)
+           (fun () -> Array.make num_pages (-1))
+       else [||]);
     hand = 0;
     used = 0;
     faults = 0;
@@ -149,3 +157,14 @@ let clear t =
   t.evictions <- 0;
   t.last_page <- -1;
   t.last_slot <- 0
+
+let retire t =
+  if Array.length t.page_table > 0 then begin
+    (* [clear] un-maps every resident page from the direct table, so the
+       pooled array is all -1 again. *)
+    clear t;
+    let table = t.page_table in
+    t.page_table <- [||];
+    Sb_machine.Pool.put table_pool table
+  end
+  else clear t

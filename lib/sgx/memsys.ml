@@ -243,7 +243,17 @@ let touch ?(cls = Data) t ~addr ~width =
   else begin
     flush_pending t;
     t.mem_accesses <- t.mem_accesses + 1;
-    let cost = if first = last then line_cost t addr else line_cost t addr + line_cost t (addr + width - 1) in
+    (* The two line probes of a split access must run low-line-first:
+       the last-line memo (and the L1 MRU invariant it relies on) needs
+       [last] to be the most recently probed line, and OCaml evaluates
+       [+] operands right-to-left, so the order is pinned with a let. *)
+    let cost =
+      if first = last then line_cost t addr
+      else begin
+        let c_first = line_cost t addr in
+        c_first + line_cost t (addr + width - 1)
+      end
+    in
     if t.fast then t.last_line <- last;
     charge_access t (class_index cls) cost
   end
@@ -360,3 +370,7 @@ let reset t =
 let epc_faults t = match t.epc with None -> 0 | Some e -> Epc.faults e
 let epc_evictions t = match t.epc with None -> 0 | Some e -> Epc.evictions e
 let llc_misses t = Hierarchy.llc_misses t.hier
+
+let retire t =
+  (match t.epc with None -> () | Some e -> Epc.retire e);
+  Vmem.retire t.vmem

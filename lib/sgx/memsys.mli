@@ -126,3 +126,9 @@ val reset : t -> unit
 val epc_faults : t -> int
 val epc_evictions : t -> int
 val llc_misses : t -> int
+
+(** Tear the machine down and recycle its big flat arrays (Vmem page
+    array, EPC residency table) through shared pools, making the next
+    [create] cheap. The machine must not be used afterwards. Read any
+    stats ([snapshot], [cache_stats], ...) {e before} retiring. *)
+val retire : t -> unit

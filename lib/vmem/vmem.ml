@@ -23,7 +23,7 @@ type page = { data : Bytes.t; mutable perm : perm }
 let sentinel = { data = Bytes.make page_size '\000'; perm = Guard }
 
 type t = {
-  pages : page array;  (* dense; [sentinel] = unmapped *)
+  mutable pages : page array;  (* dense; [sentinel] = unmapped; [||] = retired *)
   limit : int;
   mutable reserved : int;
   mutable peak : int;
@@ -43,12 +43,24 @@ type t = {
   mutable rd_page : page;
   mutable wr_idx : int;
   mutable wr_page : page;
+  (* Every successful [map] records its (page0, npages) range here so
+     [retire] can restore just those entries to the sentinel instead of
+     refilling the whole dense array. Entries are never removed by
+     [unmap]; re-sentineling an already-unmapped page is harmless. *)
+  mutable mapped_ranges : (int * int) list;
   fast : bool;
 }
 
+(* Retired page arrays, all-sentinel by construction (see [retire]),
+   shared across address spaces and domains. *)
+let pages_pool : page array Sb_machine.Pool.t = Sb_machine.Pool.create ~max:8 ()
+
 let create (cfg : Sb_machine.Config.t) =
   {
-    pages = Array.make num_pages sentinel;
+    pages =
+      Sb_machine.Pool.get pages_pool
+        ~validate:(fun a -> Array.length a = num_pages)
+        (fun () -> Array.make num_pages sentinel);
     limit = cfg.enclave_mem_limit;
     reserved = 0;
     peak = 0;
@@ -57,6 +69,7 @@ let create (cfg : Sb_machine.Config.t) =
     rd_page = sentinel;
     wr_idx = -1;
     wr_page = sentinel;
+    mapped_ranges = [];
     fast = Sb_machine.Fastpath.is_enabled ();
   }
 
@@ -119,6 +132,7 @@ let map t ?addr ~len ~perm () =
   for i = page0 to page0 + npages - 1 do
     t.pages.(i) <- { data = Bytes.make page_size '\000'; perm }
   done;
+  t.mapped_ranges <- (page0, npages) :: t.mapped_ranges;
   t.reserved <- t.reserved + bytes;
   if t.reserved > t.peak then t.peak <- t.reserved;
   page0 lsl page_shift
@@ -140,6 +154,19 @@ let protect t ~addr ~len ~perm =
     let p = t.pages.(i) in
     if p == sentinel then fault (i lsl page_shift) Unmapped else p.perm <- perm
   done
+
+let retire t =
+  if Array.length t.pages > 0 then begin
+    List.iter
+      (fun (page0, npages) -> Array.fill t.pages page0 npages sentinel)
+      t.mapped_ranges;
+    let pages = t.pages in
+    t.pages <- [||];
+    t.mapped_ranges <- [];
+    t.reserved <- 0;
+    invalidate_memos t;
+    Sb_machine.Pool.put pages_pool pages
+  end
 
 (* Translation. The memo compare alone is a complete safety check: a
    memoized index is always a valid mapped page index, and any [addr]

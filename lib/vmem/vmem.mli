@@ -64,6 +64,13 @@ val unmap : t -> addr:int -> len:int -> unit
 (** Change permissions of already-mapped pages. *)
 val protect : t -> addr:int -> len:int -> perm:perm -> unit
 
+(** Tear the address space down and recycle its dense page array through
+    a shared pool, so the next [create] skips the multi-megabyte
+    zero-fill. The [t] must not be used afterwards (any access raises).
+    Idempotent. Intended for workloads that churn through many
+    short-lived machines, e.g. the fuzz replayer. *)
+val retire : t -> unit
+
 val is_mapped : t -> int -> bool
 
 (** [load t ~addr ~width] reads an unsigned little-endian value of

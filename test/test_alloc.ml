@@ -177,6 +177,78 @@ let test_stack_overflow () =
    | () -> Alcotest.fail "expected stack overflow"
    | exception Failure _ -> ())
 
+(* --- randomized allocator walks (seeded, reproducible) --- *)
+
+module Rng = Sb_machine.Rng
+module Memsys = Sb_sgx.Memsys
+module Vmem = Sb_vmem.Vmem
+
+(* A random alloc/free walk asserting, after every allocation: the
+   payload is aligned, fully inside mapped arena memory, and disjoint
+   from every live chunk — in particular, a reused chunk never overlaps
+   anything still allocated. Driven by Sb_machine.Rng so a failure
+   reproduces from the seed in the test name. *)
+let walk ~seed ~steps ~max_size m ~alloc ~free ~extent ~align =
+  let vm = Memsys.vmem m in
+  let rng = Rng.create seed in
+  let live = Hashtbl.create 64 in (* payload addr -> (end, step) *)
+  for step = 1 to steps do
+    if Hashtbl.length live = 0 || Rng.bernoulli rng 0.6 then begin
+      let size = 1 + Rng.int rng max_size in
+      let a = alloc size in
+      align ~addr:a ~size;
+      if not (Vmem.is_mapped vm a && Vmem.is_mapped vm (a + size - 1)) then
+        Alcotest.failf "step %d: payload [%#x, %#x) not mapped" step a (a + size);
+      let e = a + extent a in
+      Hashtbl.iter
+        (fun a2 (e2, step2) ->
+           if a < e2 && a2 < e then
+             Alcotest.failf "step %d: chunk [%#x, %#x) overlaps live [%#x, %#x) from step %d"
+               step a e a2 e2 step2)
+        live;
+      Hashtbl.replace live a (e, step)
+    end
+    else begin
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+      let k = List.nth keys (Rng.int rng (List.length keys)) in
+      free k;
+      Hashtbl.remove live k
+    end
+  done
+
+let test_freelist_walk seed () =
+  with_heap (fun m h ->
+      walk ~seed ~steps:400 ~max_size:300 m
+        ~alloc:(Freelist.alloc h) ~free:(Freelist.free h)
+        ~extent:(Freelist.chunk_size h)
+        ~align:(fun ~addr ~size:_ ->
+            if addr mod 16 <> 0 then Alcotest.failf "%#x not 16-aligned" addr))
+
+let test_buddy_walk seed () =
+  with_buddy (fun m b ->
+      walk ~seed ~steps:400 ~max_size:500 m
+        ~alloc:(Buddy.alloc b) ~free:(Buddy.free b)
+        ~extent:(Buddy.block_size b)
+        ~align:(fun ~addr ~size ->
+            let bs = Buddy.block_size b addr in
+            if not (Util.is_pow2 bs && bs >= size && addr mod bs = 0) then
+              Alcotest.failf "%#x: block %d not size-aligned pow2 >= %d" addr bs size;
+            (* interior pointers derive the base — what the scheme's
+               check relies on *)
+            let interior = addr + Rng.int (Rng.create (addr + seed)) bs in
+            if Buddy.base_of b interior <> Some addr then
+              Alcotest.failf "base_of %#x <> %#x" interior addr))
+
+let test_bump_walk () =
+  (* No free: every allocation must be fresh, mapped and disjoint. *)
+  let m = ms () in
+  let g = Bump.create m () in
+  walk ~seed:12 ~steps:150 ~max_size:200 m
+    ~alloc:(Bump.alloc g)
+    ~free:(fun _ -> ())
+    ~extent:(fun _ -> 1) (* conservative: starts must at least be distinct *)
+    ~align:(fun ~addr:_ ~size:_ -> ())
+
 let suite =
   [
     Alcotest.test_case "payloads 16-byte aligned" `Quick test_alloc_aligned;
@@ -196,4 +268,9 @@ let suite =
     Alcotest.test_case "bump region monotonic" `Quick test_bump_monotonic;
     Alcotest.test_case "stack grows down, pop restores" `Quick test_stack_grows_down;
     Alcotest.test_case "stack overflow detected" `Quick test_stack_overflow;
+    Alcotest.test_case "freelist random walk (seed 1)" `Quick (test_freelist_walk 1);
+    Alcotest.test_case "freelist random walk (seed 2)" `Quick (test_freelist_walk 2);
+    Alcotest.test_case "buddy random walk (seed 1)" `Quick (test_buddy_walk 1);
+    Alcotest.test_case "buddy random walk (seed 2)" `Quick (test_buddy_walk 2);
+    Alcotest.test_case "bump random walk" `Quick test_bump_walk;
   ]

@@ -1,0 +1,270 @@
+(** The differential fuzzer's own tests: oracle semantics on hand-built
+    traces, contract capability checks, seed determinism, clean
+    campaigns under both polarities, harness sanity via fault injection
+    (a fuzzer never seen catching a broken scheme proves nothing), and
+    the regression trace for the split-line MRU memo bug the fuzzer
+    found in the fast memory engine. *)
+
+module Rng = Sb_machine.Rng
+module Trace = Sb_fuzz.Trace
+module Oracle = Sb_fuzz.Oracle
+module Contract = Sb_fuzz.Contract
+module Replay = Sb_fuzz.Replay
+module Fuzz = Sb_fuzz.Fuzz
+module Faulty = Sb_protection.Faulty
+
+(* ---------- oracle semantics on hand traces ---------- *)
+
+let exec_at plan i =
+  match plan.Oracle.p_dispositions.(i) with
+  | Oracle.Exec x -> x
+  | Oracle.Skip -> Alcotest.failf "event %d unexpectedly skipped" i
+
+let is_skip plan i = plan.Oracle.p_dispositions.(i) = Oracle.Skip
+
+let test_oracle_skips () =
+  let t : Trace.t =
+    [|
+      Trace.Load { id = 0; off = 0; width = 1; safe = false }; (* before alloc *)
+      Trace.Alloc { id = 0; size = 32; region = Trace.Global };
+      Trace.Free { id = 0 };                                   (* global: skip *)
+      Trace.Alloc { id = 1; size = 16; region = Trace.Heap };
+      Trace.Free { id = 1 };
+      Trace.Free { id = 1 };                                   (* double free: skip *)
+      Trace.Realloc { id = 1; size = 8 };                      (* freed: skip *)
+      Trace.Alloc { id = 1; size = 0; region = Trace.Heap };   (* size 0: skip *)
+    |]
+  in
+  let plan = Oracle.analyze t in
+  List.iter
+    (fun (i, skip) ->
+       Alcotest.(check bool) (Printf.sprintf "event %d skip" i) skip (is_skip plan i))
+    [ (0, true); (1, false); (2, true); (3, false); (4, false); (5, true); (6, true);
+      (7, true) ];
+  Alcotest.(check (option int)) "all-skip/alloc trace is safe" None
+    plan.Oracle.p_first_unsafe
+
+let test_oracle_overflow_label () =
+  let t : Trace.t =
+    [|
+      Trace.Alloc { id = 0; size = 16; region = Trace.Heap };
+      Trace.Store { id = 0; off = 8; width = 8; value = 1; safe = false };  (* exact fit *)
+      Trace.Store { id = 0; off = 9; width = 8; value = 1; safe = false };  (* 1 past *)
+      Trace.Load { id = 0; off = 0; width = 4; safe = false };
+    |]
+  in
+  let plan = Oracle.analyze t in
+  Alcotest.(check (option int)) "first unsafe is the overflow" (Some 2)
+    plan.Oracle.p_first_unsafe;
+  Alcotest.(check string) "label" "overflow" (Oracle.event_label plan 2);
+  Alcotest.(check string) "exact fit is safe" "safe" (Oracle.event_label plan 1);
+  (* Reads at or after the first unsafe event are never comparable. *)
+  Alcotest.(check bool) "post-unsafe read masked" false (exec_at plan 3).Oracle.x_compare.(0)
+
+let test_oracle_uaf_label () =
+  let t : Trace.t =
+    [|
+      Trace.Alloc { id = 0; size = 16; region = Trace.Heap };
+      Trace.Free { id = 0 };
+      Trace.Load { id = 0; off = 0; width = 1; safe = false };
+    |]
+  in
+  let plan = Oracle.analyze t in
+  Alcotest.(check (option int)) "dangling load flagged" (Some 2) plan.Oracle.p_first_unsafe;
+  Alcotest.(check string) "label" "use-after-free" (Oracle.event_label plan 2);
+  let r = List.hd (exec_at plan 2).Oracle.x_ranges in
+  Alcotest.(check bool) "range freed" true r.Oracle.r_freed
+
+let test_oracle_definedness () =
+  let t : Trace.t =
+    [|
+      Trace.Alloc { id = 0; size = 8; region = Trace.Heap };
+      Trace.Load { id = 0; off = 0; width = 8; safe = false };   (* calloc: defined *)
+      Trace.Realloc { id = 0; size = 32 };
+      Trace.Load { id = 0; off = 0; width = 8; safe = false };   (* kept prefix *)
+      Trace.Load { id = 0; off = 8; width = 8; safe = false };   (* realloc slack *)
+      Trace.Store { id = 0; off = 8; width = 8; value = 7; safe = false };
+      Trace.Load { id = 0; off = 8; width = 8; safe = false };   (* now written *)
+    |]
+  in
+  let plan = Oracle.analyze t in
+  Alcotest.(check (option int)) "trace is safe" None plan.Oracle.p_first_unsafe;
+  let comparable i = (exec_at plan i).Oracle.x_compare.(0) in
+  Alcotest.(check bool) "calloc'd bytes comparable" true (comparable 1);
+  Alcotest.(check bool) "realloc'd prefix comparable" true (comparable 3);
+  Alcotest.(check bool) "realloc slack not comparable" false (comparable 4);
+  Alcotest.(check bool) "comparable once stored" true (comparable 6)
+
+(* ---------- contract capabilities on hand ranges ---------- *)
+
+let range ?(kind = Oracle.Direct) ?(freed = false) ~off ~len ~size () =
+  { Oracle.r_off = off; r_len = len; r_size = size;
+    r_block = Sb_machine.Util.next_pow2 (max size 16); r_kind = kind; r_freed = freed }
+
+let covers scheme r = Contract.covers ~scheme r
+
+let test_contract_sgxbounds () =
+  Alcotest.(check bool) "upper overflow covered" true
+    (covers "sgxbounds" (range ~off:98 ~len:4 ~size:100 ()));
+  Alcotest.(check bool) "libc overflow covered" true
+    (covers "sgxbounds" (range ~kind:Oracle.Libc ~off:0 ~len:101 ~size:100 ()));
+  Alcotest.(check bool) "underflow is best-effort only" false
+    (covers "sgxbounds" (range ~off:(-4) ~len:4 ~size:100 ()));
+  Alcotest.(check bool) "UAF within old bounds not guaranteed" false
+    (covers "sgxbounds" (range ~freed:true ~off:0 ~len:4 ~size:100 ()));
+  Alcotest.(check bool) "variants share the floor" true
+    (covers "sgxbounds-noopt" (range ~off:98 ~len:4 ~size:100 ()))
+
+let test_contract_asan () =
+  Alcotest.(check bool) "redzone hit covered" true
+    (covers "asan" (range ~off:100 ~len:1 ~size:100 ()));
+  Alcotest.(check bool) "underflow redzone covered" true
+    (covers "asan" (range ~off:(-2) ~len:2 ~size:100 ()));
+  Alcotest.(check bool) "wild far access not covered" false
+    (covers "asan" (range ~off:500 ~len:4 ~size:100 ()));
+  Alcotest.(check bool) "freed payload covered (quarantine)" true
+    (covers "asan" (range ~freed:true ~off:50 ~len:4 ~size:100 ()))
+
+let test_contract_mpx_baggy_native () =
+  Alcotest.(check bool) "mpx covers direct overflow" true
+    (covers "mpx" (range ~off:98 ~len:4 ~size:100 ()));
+  Alcotest.(check bool) "mpx exempt on libc (no interceptors)" false
+    (covers "mpx" (range ~kind:Oracle.Libc ~off:0 ~len:101 ~size:100 ()));
+  (* size 100 -> 128-byte buddy block *)
+  Alcotest.(check bool) "baggy: padding overflow swallowed" false
+    (covers "baggy" (range ~off:100 ~len:8 ~size:100 ()));
+  Alcotest.(check bool) "baggy: past the block covered" true
+    (covers "baggy" (range ~off:120 ~len:16 ~size:100 ()));
+  Alcotest.(check bool) "baggy: start outside block exempt" false
+    (covers "baggy" (range ~off:300 ~len:4 ~size:100 ()));
+  Alcotest.(check bool) "native promises nothing" false
+    (covers "native" (range ~off:98 ~len:100 ~size:100 ()));
+  Alcotest.(check bool) "safe accesses exempt everywhere" false
+    (covers "sgxbounds" (range ~kind:Oracle.Safe_access ~off:98 ~len:4 ~size:100 ()))
+
+(* ---------- scheme-level spot check: baggy padding tolerance ---------- *)
+
+let test_baggy_padding_tolerance () =
+  let open Sb_protection.Types in
+  let m = Sb_sgx.Memsys.create (Sb_machine.Config.default ()) in
+  let s = Sb_baggy.Baggy.make m in
+  let p = s.Sb_protection.Scheme.malloc 100 in
+  (* 100 -> 128-byte block: off 120..124 is padding, tolerated *)
+  (match s.Sb_protection.Scheme.store (s.Sb_protection.Scheme.offset p 120) 4 7 with
+   | () -> ()
+   | exception Violation v ->
+     Alcotest.failf "padding store wrongly flagged: %a" pp_violation v);
+  (* off 126 + 4 runs past the block: must stop *)
+  (match s.Sb_protection.Scheme.store (s.Sb_protection.Scheme.offset p 126) 4 7 with
+   | () -> Alcotest.fail "out-of-block store missed"
+   | exception Violation _ -> ())
+
+(* ---------- determinism ---------- *)
+
+let test_generate_deterministic () =
+  let t1 = Trace.generate (Rng.create 42) in
+  let t2 = Trace.generate (Rng.create 42) in
+  Alcotest.(check bool) "same seed, same trace" true (t1 = t2);
+  let t3 = Trace.generate (Rng.create 43) in
+  Alcotest.(check bool) "different seed, different trace" true (t1 <> t3)
+
+let test_campaign_deterministic () =
+  let r1 = Fuzz.campaign ~seed:5 ~iters:15 () in
+  let r2 = Fuzz.campaign ~seed:5 ~iters:15 () in
+  Alcotest.(check int) "same events generated" r1.Fuzz.rp_events r2.Fuzz.rp_events;
+  Alcotest.(check bool) "same verdict" true
+    (r1.Fuzz.rp_counterexample = None && r2.Fuzz.rp_counterexample = None)
+
+(* ---------- clean campaigns ---------- *)
+
+let check_clean name (r : Fuzz.report) =
+  match r.Fuzz.rp_counterexample with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "%s: %a on\n%s" name Fuzz.pp_failure cx.Fuzz.cx_failure
+      (Trace.to_string cx.Fuzz.cx_shrunk)
+
+let test_clean_campaign () =
+  check_clean "mixed traces" (Fuzz.campaign ~seed:2026 ~iters:40 ())
+
+let test_all_safe_campaign () =
+  let params = { Trace.default_params with Trace.p_bad = 0.0 } in
+  check_clean "all-safe traces" (Fuzz.campaign ~params ~seed:7 ~iters:40 ())
+
+let test_all_bad_campaign () =
+  let params = { Trace.default_params with Trace.p_bad = 1.0 } in
+  check_clean "all-violating traces" (Fuzz.campaign ~params ~seed:11 ~iters:40 ())
+
+(* ---------- harness sanity: a broken scheme must be caught ---------- *)
+
+let faulty_spec fault =
+  {
+    Fuzz.sp_name = "sgxbounds";
+    sp_maker = (fun m -> Faulty.inject fault (Sgxbounds.make m));
+    sp_counts_only = false;
+  }
+
+let test_fault_caught fault () =
+  let specs = [ faulty_spec fault ] in
+  let r = Fuzz.campaign ~specs ~seed:1 ~iters:500 () in
+  match r.Fuzz.rp_counterexample with
+  | None -> Alcotest.fail "broken scheme survived the campaign"
+  | Some cx ->
+    Alcotest.(check bool) "reported as a missed violation" true
+      (cx.Fuzz.cx_failure.Fuzz.f_kind = Fuzz.Missed_violation);
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk to <= 10 events (got %d)" (Array.length cx.Fuzz.cx_shrunk))
+      true
+      (Array.length cx.Fuzz.cx_shrunk <= 10)
+
+(* ---------- regression: the fast-engine split-line MRU memo bug ---------- *)
+
+(* Found by [fuzz --seed 31337]: a 4-byte store at 0x..ff spans two cache
+   lines, and the fast engine's last-line memo recorded the high line as
+   most-recently-used while the unspecified evaluation order of [+] had
+   actually probed it first. One elided recency update later the L1 LRU
+   order diverged from the naive engine and an 8-cycle delta surfaced
+   three events downstream. The probe order is now pinned low-line-first
+   (see Memsys.touch); this trace pins the fix. *)
+let mru_memo_trace : Trace.t =
+  [|
+    Trace.Alloc { id = 0; size = 63; region = Trace.Global };
+    Trace.Alloc { id = 7; size = 112; region = Trace.Stack };
+    Trace.Alloc { id = 4; size = 101; region = Trace.Heap };
+    Trace.Realloc { id = 4; size = 120 };
+    Trace.Store { id = 4; off = 111; width = 4; value = 0xfaee; safe = true };
+    Trace.Load { id = 4; off = 4; width = 8; safe = false };
+    Trace.Store { id = 0; off = 6; width = 2; value = 0x13da; safe = false };
+    Trace.Store { id = 7; off = 13; width = 2; value = 0x2cfa; safe = false };
+    Trace.Realloc { id = 4; size = 94 };
+  |]
+
+let test_split_line_mru_regression () =
+  match Fuzz.check_trace mru_memo_trace with
+  | None -> ()
+  | Some f -> Alcotest.failf "regression trace fails again: %a" Fuzz.pp_failure f
+
+let suite =
+  [
+    Alcotest.test_case "oracle: inapplicable events skip" `Quick test_oracle_skips;
+    Alcotest.test_case "oracle: overflow labelled, reads masked" `Quick
+      test_oracle_overflow_label;
+    Alcotest.test_case "oracle: use-after-free labelled" `Quick test_oracle_uaf_label;
+    Alcotest.test_case "oracle: definedness tracks writes" `Quick test_oracle_definedness;
+    Alcotest.test_case "contract: sgxbounds" `Quick test_contract_sgxbounds;
+    Alcotest.test_case "contract: asan" `Quick test_contract_asan;
+    Alcotest.test_case "contract: mpx, baggy, native" `Quick test_contract_mpx_baggy_native;
+    Alcotest.test_case "baggy tolerates padding, stops past block" `Quick
+      test_baggy_padding_tolerance;
+    Alcotest.test_case "generator is seed-deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "campaign is seed-deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "clean campaign: mixed traces" `Slow test_clean_campaign;
+    Alcotest.test_case "clean campaign: all-safe traces" `Slow test_all_safe_campaign;
+    Alcotest.test_case "clean campaign: all-violating traces" `Slow test_all_bad_campaign;
+    Alcotest.test_case "fault injection: elided checks caught + shrunk" `Slow
+      (test_fault_caught (Faulty.Elide_every_nth 3));
+    Alcotest.test_case "fault injection: deaf libc caught + shrunk" `Slow
+      (test_fault_caught Faulty.Deaf_libc);
+    Alcotest.test_case "regression: split-line MRU memo (engines agree)" `Quick
+      test_split_line_mru_regression;
+  ]

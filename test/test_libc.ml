@@ -219,4 +219,112 @@ let extended_suite =
     Alcotest.test_case "snprintf checks %s pointers" `Quick test_snprintf_checks_string_pointer;
   ]
 
-let suite = suite @ extended_suite
+(* --- edge cases: zero length, exact fit, overlap, footer adjacency --- *)
+
+let checking_schemes = [ ("sgxbounds", sgxb); ("asan", asan) ]
+
+let test_zero_length_ops () =
+  (* len=0 must be a no-op even through one-past-the-end pointers — the
+     C idiom memcpy(end, end, 0) is legal and wrappers must not check. *)
+  List.iter
+    (fun (name, maker) ->
+       let _, s = fresh maker in
+       let a = s.Scheme.malloc 16 and b = s.Scheme.malloc 16 in
+       check_allows (name ^ ": memcpy len 0 at end") (fun () ->
+           Libc.memcpy s ~dst:(s.Scheme.offset b 16) ~src:(s.Scheme.offset a 16) ~len:0);
+       check_allows (name ^ ": memmove len 0") (fun () ->
+           Libc.memmove s ~dst:b ~src:a ~len:0);
+       check_allows (name ^ ": memset len 0 at end") (fun () ->
+           Libc.memset s ~dst:(s.Scheme.offset a 16) ~byte:0xAA ~len:0))
+    checking_schemes
+
+let test_strcpy_exact_fit () =
+  List.iter
+    (fun (name, maker) ->
+       let _, s = fresh maker in
+       let src = s.Scheme.malloc 16 in
+       Libc.strcpy_in s ~dst:src "12345";
+       (* 5 chars + NUL exactly fill a 6-byte destination *)
+       let fit = s.Scheme.malloc 6 in
+       check_allows (name ^ ": exact fit allowed") (fun () ->
+           ignore (Libc.strcpy s ~dst:fit ~src));
+       Alcotest.(check string) (name ^ ": content") "12345" (Libc.string_out s fit);
+       (* one byte less and the terminator overflows *)
+       let tight = s.Scheme.malloc 5 in
+       check_detects (name ^ ": one short detected") (fun () ->
+           ignore (Libc.strcpy s ~dst:tight ~src)))
+    checking_schemes
+
+let test_strcat_exact_fit () =
+  List.iter
+    (fun (name, maker) ->
+       let _, s = fresh maker in
+       let src = s.Scheme.malloc 8 in
+       Libc.strcpy_in s ~dst:src "bar";
+       let fit = s.Scheme.malloc 7 in
+       Libc.strcpy_in s ~dst:fit "foo";
+       check_allows (name ^ ": 3+3+NUL fills 7") (fun () ->
+           ignore (Libc.strcat s ~dst:fit ~src));
+       Alcotest.(check string) (name ^ ": content") "foobar" (Libc.string_out s fit);
+       let tight = s.Scheme.malloc 6 in
+       Libc.strcpy_in s ~dst:tight "foo";
+       check_detects (name ^ ": 6 bytes is one short") (fun () ->
+           ignore (Libc.strcat s ~dst:tight ~src)))
+    checking_schemes
+
+let test_memmove_overlapping () =
+  List.iter
+    (fun (name, maker) ->
+       let _, s = fresh maker in
+       let a = s.Scheme.malloc 32 in
+       let reset () =
+         for i = 0 to 31 do s.Scheme.store (s.Scheme.offset a i) 1 i done
+       in
+       (* forward overlap: dst > src *)
+       reset ();
+       Libc.memmove s ~dst:(s.Scheme.offset a 4) ~src:a ~len:16;
+       for i = 0 to 15 do
+         Alcotest.(check int) (name ^ ": forward byte") i
+           (s.Scheme.load (s.Scheme.offset a (4 + i)) 1)
+       done;
+       (* backward overlap: dst < src *)
+       reset ();
+       Libc.memmove s ~dst:a ~src:(s.Scheme.offset a 4) ~len:16;
+       for i = 0 to 15 do
+         Alcotest.(check int) (name ^ ": backward byte") (4 + i)
+           (s.Scheme.load (s.Scheme.offset a i) 1)
+       done)
+    checking_schemes
+
+let test_footer_adjacent_writes () =
+  (* SGXBounds keeps the LB footer just past the object. In-bounds
+     writes right up against it — last byte, exact-fit memset — must not
+     corrupt it: the very next overflow still has to be detected. *)
+  let _, s = fresh sgxb in
+  let a = s.Scheme.malloc 24 in
+  check_allows "last byte store" (fun () -> s.Scheme.store (s.Scheme.offset a 23) 1 0xFF);
+  check_allows "exact-fit wide store" (fun () ->
+      s.Scheme.store (s.Scheme.offset a 16) 8 (-1));
+  check_allows "exact-fit memset" (fun () -> Libc.memset s ~dst:a ~byte:0x5A ~len:24);
+  check_detects "footer survives: overflow still caught" (fun () ->
+      s.Scheme.store (s.Scheme.offset a 24) 1 0);
+  check_detects "footer survives: wide access straddling end" (fun () ->
+      ignore (s.Scheme.load (s.Scheme.offset a 20) 8));
+  (* ASan: same adjacency, detection comes from the redzone instead *)
+  let _, s = fresh asan in
+  let b = s.Scheme.malloc 24 in
+  check_allows "asan: last byte store" (fun () ->
+      s.Scheme.store (s.Scheme.offset b 23) 1 0xFF);
+  check_detects "asan: first redzone byte" (fun () ->
+      s.Scheme.store (s.Scheme.offset b 24) 1 0)
+
+let edge_suite =
+  [
+    Alcotest.test_case "zero-length ops never check" `Quick test_zero_length_ops;
+    Alcotest.test_case "strcpy exact fit" `Quick test_strcpy_exact_fit;
+    Alcotest.test_case "strcat exact fit" `Quick test_strcat_exact_fit;
+    Alcotest.test_case "memmove overlapping ranges" `Quick test_memmove_overlapping;
+    Alcotest.test_case "footer-adjacent writes" `Quick test_footer_adjacent_writes;
+  ]
+
+let suite = suite @ extended_suite @ edge_suite

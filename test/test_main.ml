@@ -24,4 +24,7 @@ let () =
       ("narrowing", Test_narrowing.suite);
       ("differential", Test_differential.suite);
       ("fastpath", Test_fastpath.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("ripe-golden", Test_ripe_golden.suite);
+      ("sink-golden", Test_sink_golden.suite);
     ]

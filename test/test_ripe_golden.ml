@@ -1,0 +1,159 @@
+(** RIPE golden matrix: the complete per-attack outcome table for every
+    scheme, pinned as an expect-style golden.
+
+    [Test_ripe] checks the paper's aggregate claims (8/16 prevented,
+    in-struct escapes, ...); this suite pins the {e exact} outcome of
+    each of the 16 attacks so any behavioural drift — a changed
+    allocator layout, a check reordering, a redzone tweak — shows up as
+    a named cell flipping, not a count silently compensating. Update a
+    row only when the change in detection behaviour is intended. *)
+
+open Helpers
+module Ripe = Sb_ripe.Ripe
+
+let outcome_name = function
+  | Ripe.Succeeded -> "succeeded"
+  | Ripe.Prevented -> "prevented"
+  | Ripe.Failed -> "failed"
+
+let render maker =
+  let _, s = fresh maker in
+  Ripe.run_all s
+  |> List.map (fun (a, o) -> Printf.sprintf "%-37s %s" (Ripe.name a) (outcome_name o))
+  |> String.concat "\n"
+
+(* Captured from the simulator; one line per attack, 16 per scheme. *)
+let golden =
+  [
+    ( "native",
+      "direct-loop/stack/adjacent-funcptr    succeeded\n\
+       direct-loop/stack/in-struct-funcptr   succeeded\n\
+       direct-loop/heap/adjacent-funcptr     succeeded\n\
+       direct-loop/heap/in-struct-funcptr    succeeded\n\
+       direct-unrolled/stack/adjacent-funcptr succeeded\n\
+       direct-unrolled/stack/in-struct-funcptr succeeded\n\
+       direct-unrolled/heap/adjacent-funcptr succeeded\n\
+       direct-unrolled/heap/in-struct-funcptr succeeded\n\
+       strcpy/stack/adjacent-funcptr         succeeded\n\
+       strcpy/stack/in-struct-funcptr        succeeded\n\
+       strcpy/heap/adjacent-funcptr          succeeded\n\
+       strcpy/heap/in-struct-funcptr         succeeded\n\
+       memcpy/stack/adjacent-funcptr         succeeded\n\
+       memcpy/stack/in-struct-funcptr        succeeded\n\
+       memcpy/heap/adjacent-funcptr          succeeded\n\
+       memcpy/heap/in-struct-funcptr         succeeded" );
+    ( "sgxbounds",
+      "direct-loop/stack/adjacent-funcptr    prevented\n\
+       direct-loop/stack/in-struct-funcptr   succeeded\n\
+       direct-loop/heap/adjacent-funcptr     prevented\n\
+       direct-loop/heap/in-struct-funcptr    succeeded\n\
+       direct-unrolled/stack/adjacent-funcptr prevented\n\
+       direct-unrolled/stack/in-struct-funcptr succeeded\n\
+       direct-unrolled/heap/adjacent-funcptr prevented\n\
+       direct-unrolled/heap/in-struct-funcptr succeeded\n\
+       strcpy/stack/adjacent-funcptr         prevented\n\
+       strcpy/stack/in-struct-funcptr        succeeded\n\
+       strcpy/heap/adjacent-funcptr          prevented\n\
+       strcpy/heap/in-struct-funcptr         succeeded\n\
+       memcpy/stack/adjacent-funcptr         prevented\n\
+       memcpy/stack/in-struct-funcptr        succeeded\n\
+       memcpy/heap/adjacent-funcptr          prevented\n\
+       memcpy/heap/in-struct-funcptr         succeeded" );
+    ( "sgxbounds-boundless",
+      (* Fail-oblivious: direct overflows are redirected to the overlay
+         (attack neither detected fatally nor landed = failed); libc
+         wrappers still fail-stop (§3.4). *)
+      "direct-loop/stack/adjacent-funcptr    failed\n\
+       direct-loop/stack/in-struct-funcptr   succeeded\n\
+       direct-loop/heap/adjacent-funcptr     failed\n\
+       direct-loop/heap/in-struct-funcptr    succeeded\n\
+       direct-unrolled/stack/adjacent-funcptr failed\n\
+       direct-unrolled/stack/in-struct-funcptr succeeded\n\
+       direct-unrolled/heap/adjacent-funcptr failed\n\
+       direct-unrolled/heap/in-struct-funcptr succeeded\n\
+       strcpy/stack/adjacent-funcptr         prevented\n\
+       strcpy/stack/in-struct-funcptr        succeeded\n\
+       strcpy/heap/adjacent-funcptr          prevented\n\
+       strcpy/heap/in-struct-funcptr         succeeded\n\
+       memcpy/stack/adjacent-funcptr         prevented\n\
+       memcpy/stack/in-struct-funcptr        succeeded\n\
+       memcpy/heap/adjacent-funcptr          prevented\n\
+       memcpy/heap/in-struct-funcptr         succeeded" );
+    ( "asan",
+      "direct-loop/stack/adjacent-funcptr    prevented\n\
+       direct-loop/stack/in-struct-funcptr   succeeded\n\
+       direct-loop/heap/adjacent-funcptr     prevented\n\
+       direct-loop/heap/in-struct-funcptr    succeeded\n\
+       direct-unrolled/stack/adjacent-funcptr prevented\n\
+       direct-unrolled/stack/in-struct-funcptr succeeded\n\
+       direct-unrolled/heap/adjacent-funcptr prevented\n\
+       direct-unrolled/heap/in-struct-funcptr succeeded\n\
+       strcpy/stack/adjacent-funcptr         prevented\n\
+       strcpy/stack/in-struct-funcptr        succeeded\n\
+       strcpy/heap/adjacent-funcptr          prevented\n\
+       strcpy/heap/in-struct-funcptr         succeeded\n\
+       memcpy/stack/adjacent-funcptr         prevented\n\
+       memcpy/stack/in-struct-funcptr        succeeded\n\
+       memcpy/heap/adjacent-funcptr          prevented\n\
+       memcpy/heap/in-struct-funcptr         succeeded" );
+    ( "mpx",
+      (* No libc interceptors (§5.3) and no heap narrowing: only direct
+         stack smashing of the adjacent pointer is stopped. *)
+      "direct-loop/stack/adjacent-funcptr    prevented\n\
+       direct-loop/stack/in-struct-funcptr   succeeded\n\
+       direct-loop/heap/adjacent-funcptr     succeeded\n\
+       direct-loop/heap/in-struct-funcptr    succeeded\n\
+       direct-unrolled/stack/adjacent-funcptr prevented\n\
+       direct-unrolled/stack/in-struct-funcptr succeeded\n\
+       direct-unrolled/heap/adjacent-funcptr succeeded\n\
+       direct-unrolled/heap/in-struct-funcptr succeeded\n\
+       strcpy/stack/adjacent-funcptr         succeeded\n\
+       strcpy/stack/in-struct-funcptr        succeeded\n\
+       strcpy/heap/adjacent-funcptr          succeeded\n\
+       strcpy/heap/in-struct-funcptr         succeeded\n\
+       memcpy/stack/adjacent-funcptr         succeeded\n\
+       memcpy/stack/in-struct-funcptr        succeeded\n\
+       memcpy/heap/adjacent-funcptr          succeeded\n\
+       memcpy/heap/in-struct-funcptr         succeeded" );
+    ( "baggy",
+      (* Allocation-bounds only: buddy padding swallows most of the
+         32-byte overflows ([failed]: the write landed in padding, the
+         target survived; [succeeded]: block-aligned neighbours). *)
+      "direct-loop/stack/adjacent-funcptr    failed\n\
+       direct-loop/stack/in-struct-funcptr   succeeded\n\
+       direct-loop/heap/adjacent-funcptr     succeeded\n\
+       direct-loop/heap/in-struct-funcptr    succeeded\n\
+       direct-unrolled/stack/adjacent-funcptr succeeded\n\
+       direct-unrolled/stack/in-struct-funcptr succeeded\n\
+       direct-unrolled/heap/adjacent-funcptr succeeded\n\
+       direct-unrolled/heap/in-struct-funcptr succeeded\n\
+       strcpy/stack/adjacent-funcptr         failed\n\
+       strcpy/stack/in-struct-funcptr        succeeded\n\
+       strcpy/heap/adjacent-funcptr          failed\n\
+       strcpy/heap/in-struct-funcptr         succeeded\n\
+       memcpy/stack/adjacent-funcptr         failed\n\
+       memcpy/stack/in-struct-funcptr        succeeded\n\
+       memcpy/heap/adjacent-funcptr          failed\n\
+       memcpy/heap/in-struct-funcptr         succeeded" );
+  ]
+
+let makers =
+  [
+    ("native", native);
+    ("sgxbounds", sgxb);
+    ("sgxbounds-boundless", sgxb_boundless);
+    ("asan", asan);
+    ("mpx", mpx);
+    ("baggy", baggy);
+  ]
+
+let test_matrix scheme () =
+  let maker = List.assoc scheme makers in
+  let expected = List.assoc scheme golden in
+  Alcotest.(check string) (scheme ^ " RIPE matrix") expected (render maker)
+
+let suite =
+  List.map
+    (fun (scheme, _) ->
+       Alcotest.test_case (scheme ^ ": full outcome table") `Quick (test_matrix scheme))
+    golden

@@ -1,0 +1,95 @@
+(** Golden tests for the telemetry exporters.
+
+    A hand-built {!Sb_telemetry.Sink.snapshot} is rendered through each
+    exporter and compared against committed output, so accidental format
+    drift (a renamed JSON key, a reordered CSV column, a lost Chrome
+    [pid]) fails a named test instead of silently breaking downstream
+    consumers (spreadsheets, Perfetto). JSON comparisons are
+    whitespace-normalized: the pretty-printer's line breaks depend on
+    the box margin, which is not part of the format. *)
+
+module Sink = Sb_telemetry.Sink
+module Events = Sb_telemetry.Events
+module Json = Sb_telemetry.Json
+
+let snap =
+  {
+    Sink.counters = [ ("checks_done", 42); ("epc_faults", 3) ];
+    histograms =
+      [
+        ( "access_cycles:data",
+          { Sink.h_count = 3; h_sum = 30; h_mean = 10.0; h_max = 20; h_p50 = 8; h_p99 = 20 }
+        );
+      ];
+    events =
+      [
+        { Events.ts = 5; tid = 0; name = "epc_fault"; cat = "epc"; ph = Events.Instant;
+          args = [ ("page", "0x2a") ] };
+        { Events.ts = 9; tid = 1; name = "phase"; cat = "run"; ph = Events.Complete 7;
+          args = [] };
+      ];
+    dropped_events = 1;
+  }
+
+(* Collapse all whitespace runs to single spaces: pretty-printer line
+   breaks are layout, not format. *)
+let normalize s =
+  String.split_on_char ' ' (String.map (function '\n' | '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun w -> w <> "")
+  |> String.concat " "
+
+let check_normalized name expected actual =
+  Alcotest.(check string) name (normalize expected) (normalize actual)
+
+let test_csv () =
+  Alcotest.(check string) "counters csv"
+    "metric,value\nchecks_done,42\nepc_faults,3\naccess_cycles:data.sum,30\n"
+    (Sink.counters_csv snap)
+
+let test_flat_json () =
+  check_normalized "flat json"
+    {|{"counters":{"checks_done":42, "epc_faults":3},
+       "histograms":{"access_cycles:data":{"count":3, "sum":30, "mean":10.0,
+       "p50":8, "p99":20, "max":20}}, "events":[{"name":"epc_fault", "cat":"epc",
+       "ts":5, "tid":0, "ph":"i", "args":{"page":"0x2a"}}, {"name":"phase",
+       "cat":"run", "ts":9, "tid":1, "ph":"X", "dur":7, "args":{}}],
+       "dropped_events":1}|}
+    (Json.to_string (Sink.to_json snap))
+
+let test_chrome_trace () =
+  check_normalized "chrome trace_event json"
+    {|{"traceEvents":[{"name":"process_name", "ph":"M", "pid":1, "tid":0,
+       "args":{"name":"sgxbounds-sim"}}, {"name":"epc_fault", "cat":"epc", "ts":5,
+       "tid":0, "ph":"i", "args":{"page":"0x2a"}, "pid":1}, {"name":"phase",
+       "cat":"run", "ts":9, "tid":1, "ph":"X", "dur":7, "args":{}, "pid":1}],
+       "displayTimeUnit":"ms",
+       "otherData":{"dropped_events":1}}|}
+    (Json.to_string (Sink.chrome_trace snap))
+
+let test_chrome_process_name_override () =
+  let j = Json.to_string (Sink.chrome_trace ~process_name:"bench-7" snap) in
+  Alcotest.(check bool) "custom process name present" true
+    (let norm = normalize j in
+     let needle = {|"args":{"name":"bench-7"}|} in
+     let rec find i =
+       i + String.length needle <= String.length norm
+       && (String.sub norm i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let test_empty_snapshot_exports () =
+  let empty = { Sink.counters = []; histograms = []; events = []; dropped_events = 0 } in
+  Alcotest.(check string) "empty csv is just the header" "metric,value\n"
+    (Sink.counters_csv empty);
+  check_normalized "empty flat json"
+    {|{"counters":{}, "histograms":{}, "events":[], "dropped_events":0}|}
+    (Json.to_string (Sink.to_json empty))
+
+let suite =
+  [
+    Alcotest.test_case "counters_csv golden" `Quick test_csv;
+    Alcotest.test_case "flat json golden" `Quick test_flat_json;
+    Alcotest.test_case "chrome trace golden" `Quick test_chrome_trace;
+    Alcotest.test_case "chrome trace process name" `Quick test_chrome_process_name_override;
+    Alcotest.test_case "empty snapshot exports" `Quick test_empty_snapshot_exports;
+  ]
