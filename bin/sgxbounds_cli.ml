@@ -371,10 +371,133 @@ let fuzz_cmd =
              the exact replay command, and exits 1.")
     Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ bad_arg $ inject_arg $ quiet_arg)
 
+let serve_cmd =
+  let module Service = Sb_service.Service in
+  let module Loadgen = Sb_service.Loadgen in
+  let module Drivers = Sb_service.Drivers in
+  let module Sexp = Sb_service.Experiment in
+  let module Latency = Sb_service.Latency in
+  let run app scheme rate workers queue requests process seed outside smoke json =
+    check_scheme scheme;
+    let app =
+      match Drivers.of_string app with
+      | Some a -> a
+      | None ->
+        die "unknown app '%s'.@.Valid apps: %s" app
+          (String.concat ", " Drivers.app_names)
+    in
+    let process =
+      match Loadgen.of_string process with
+      | Some p -> p
+      | None ->
+        die "unknown arrival process '%s'.@.Valid processes: %s" process
+          (String.concat ", " Loadgen.process_names)
+    in
+    if rate <= 0. then die "--rate must be positive (requests per simulated second)";
+    if workers < 1 then die "--workers must be >= 1";
+    if queue < 1 then die "--queue must be >= 1";
+    if requests < 0 then die "--requests must be >= 0";
+    let requests = if smoke then min requests 200 else requests in
+    let cfg =
+      { Service.workers; queue_cap = queue; requests; rate_rps = rate; process; seed }
+    in
+    let p = Sexp.run_cell { Sexp.app; scheme; env = env_of outside; cfg } in
+    match p.Sexp.pt_outcome with
+    | Error msg ->
+      if json then
+        Fmt.pr "%s@."
+          (Json.to_string
+             (Json.Obj
+                [ ("app", Json.Str p.Sexp.pt_app); ("scheme", Json.Str scheme);
+                  ("status", Json.Str "crashed"); ("reason", Json.Str msg) ]));
+      die "serve %s/%s crashed: %s" p.Sexp.pt_app scheme msg
+    | Ok st ->
+      let s = Service.summary st in
+      let qw = Latency.summary st.Service.queue_wait in
+      if json then
+        Fmt.pr "%s@."
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("app", Json.Str p.Sexp.pt_app);
+                  ("scheme", Json.Str scheme);
+                  ("env", Json.Str (Harness.env_name p.Sexp.pt_env));
+                  ("process", Json.Str (Loadgen.to_string process));
+                  ("offered_rps", Json.Float rate);
+                  ("workers", Json.Int workers);
+                  ("queue_cap", Json.Int queue);
+                  ("seed", Json.Int seed);
+                  ("offered", Json.Int st.Service.offered);
+                  ("completed", Json.Int st.Service.completed);
+                  ("dropped", Json.Int st.Service.dropped);
+                  ("max_queue", Json.Int st.Service.max_queue);
+                  ("elapsed_cycles", Json.Int st.Service.elapsed);
+                  ("throughput_rps", Json.Float (Service.throughput_rps st));
+                  ( "latency_cycles",
+                    Json.Obj
+                      [ ("p50", Json.Int s.Latency.p50); ("p95", Json.Int s.Latency.p95);
+                        ("p99", Json.Int s.Latency.p99); ("mean", Json.Float s.Latency.mean);
+                        ("max", Json.Int s.Latency.max) ] );
+                  ( "queue_wait_cycles",
+                    Json.Obj
+                      [ ("p50", Json.Int qw.Latency.p50); ("p99", Json.Int qw.Latency.p99) ] );
+                ]))
+      else begin
+        Fmt.pr "serve %s/%s (%s): %s arrivals at %.0f rps, %d workers, queue %d, seed %d@."
+          p.Sexp.pt_app scheme (Harness.env_name p.Sexp.pt_env)
+          (Loadgen.to_string process) rate workers queue seed;
+        Fmt.pr "offered %d  completed %d  dropped %d (%.1f%%)  peak queue %d@."
+          st.Service.offered st.Service.completed st.Service.dropped
+          (100. *. Service.drop_ratio st) st.Service.max_queue;
+        Fmt.pr "elapsed %.2f ms  throughput %.1f kops/s@."
+          (float_of_int st.Service.elapsed /. 1e6)
+          (Service.throughput_rps st /. 1000.);
+        Fmt.pr "latency:    %a@." Latency.pp s;
+        Fmt.pr "queue wait: %a@." Latency.pp qw
+      end
+  in
+  let app_arg =
+    Arg.(value & opt string "memcached"
+         & info [ "app" ] ~docv:"APP" ~doc:"Case-study app: http, memcached, sqlite.")
+  in
+  let rate_arg =
+    Arg.(required & opt (some float) None
+         & info [ "rate" ] ~docv:"RPS"
+             ~doc:"Offered load in requests per simulated second (open loop: arrivals \
+                   keep coming whether or not the server keeps up).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Simulated server threads.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~doc:"Accept-queue bound; arrivals beyond it are shed.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 2000 & info [ "requests" ] ~doc:"Total offered requests.")
+  in
+  let process_arg =
+    Arg.(value & opt string "poisson"
+         & info [ "process" ] ~doc:"Arrival process: fixed, poisson, burst.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Arrival-schedule seed (deterministic).")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"CI mode: cap --requests at 200.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Open-loop load generation against a case-study app: deterministic arrival \
+             schedule, bounded accept queue (overload sheds, never wedges), per-request \
+             latency percentiles. The service-layer reproduction of Figure 13.")
+    Term.(const run $ app_arg $ scheme_arg $ rate_arg $ workers_arg $ queue_arg
+          $ requests_arg $ process_arg $ seed_arg $ outside_arg $ smoke_arg $ json_arg)
+
 let () =
   let info = Cmd.info "sgxbounds_cli" ~doc:"SGXBounds reproduction driver" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd;
-            validate_bench_cmd; fuzz_cmd ]))
+            validate_bench_cmd; fuzz_cmd; serve_cmd ]))

@@ -56,6 +56,29 @@ trap 'rm -f "$trace" "$bench_out"' EXIT
 _build/default/bench/main.exe --smoke --out "$bench_out" throughput >/dev/null
 "$CLI" validate-bench "$bench_out"
 
+echo "== bench smoke: fig13curves (open-loop service sweep)"
+_build/default/bench/main.exe --smoke -j 2 fig13curves >/dev/null
+test -s results/fig13_latency_smoke.tsv
+rm -f results/fig13_latency_smoke.tsv
+
+echo "== CLI smoke: serve --smoke (underload + overload shed)"
+serve_out=$("$CLI" serve --app memcached --scheme sgxbounds --rate 400000 --smoke --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$serve_out" | jq -e '.completed + .dropped == .offered' >/dev/null
+  echo "$serve_out" | jq -e '.latency_cycles.p50 <= .latency_cycles.p99' >/dev/null
+else
+  echo "$serve_out" | grep -q '"completed"'
+fi
+# overload with a tiny queue must shed, not deadlock
+shed_out=$("$CLI" serve --app http --scheme sgxbounds --rate 5000000 \
+  --process burst --queue 4 --smoke --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$shed_out" | jq -e '.dropped > 0' >/dev/null
+  echo "$shed_out" | jq -e '.max_queue <= 4' >/dev/null
+else
+  echo "$shed_out" | grep -q '"dropped"'
+fi
+
 echo "== CLI smoke: unknown names are clean errors"
 if "$CLI" run -w nosuchworkload -s sgxbounds >/dev/null 2>&1; then
   echo "expected failure for unknown workload" >&2
@@ -63,6 +86,10 @@ if "$CLI" run -w nosuchworkload -s sgxbounds >/dev/null 2>&1; then
 fi
 if "$CLI" run -w kmeans -s nosuchscheme >/dev/null 2>&1; then
   echo "expected failure for unknown scheme" >&2
+  exit 1
+fi
+if "$CLI" serve --app nosuchapp --rate 1000 >/dev/null 2>&1; then
+  echo "expected failure for unknown app" >&2
   exit 1
 fi
 

@@ -56,17 +56,20 @@ let create_server ?(shield = Sb_scone.Scone.No_shield) ctx =
 (* Send: compose the response in the app buffer, then write it out
    through the SCONE syscall interface — which stages the bytes through
    the enclave syscall slot (the second copy of §7) before the outside
-   syscall thread transmits them. *)
-let send srv ~out ~len =
+   syscall thread transmits them. [conn] defaults to the server's
+   listening connection; service workers pass their own. *)
+let send ?conn srv ~out ~len =
+  let conn = Option.value conn ~default:srv.conn in
   Libc.memcpy srv.ctx.s ~dst:out ~src:srv.page ~len;
-  ignore (Sb_scone.Scone.write srv.world srv.conn ~buf:out ~len)
+  ignore (Sb_scone.Scone.write srv.world conn ~buf:out ~len)
 
 (* Receive one request into the connection buffer via the syscall
    interface. *)
-let recv_request srv ~conn_buf =
-  Sb_scone.Scone.feed srv.world srv.conn request_line;
+let recv_request ?conn srv ~conn_buf =
+  let conn = Option.value conn ~default:srv.conn in
+  Sb_scone.Scone.feed srv.world conn request_line;
   ignore
-    (Sb_scone.Scone.read srv.world srv.conn ~buf:conn_buf
+    (Sb_scone.Scone.read srv.world conn ~buf:conn_buf
        ~len:(String.length request_line))
 
 let requests_per_connection = 20 (* ab keepalive *)
@@ -113,6 +116,33 @@ let nginx_handle srv ~conn_buf ~out_buf =
   done;
   work srv.ctx 3000; (* event loop, parsing, header assembly *)
   send srv ~out:out_buf ~len:page_bytes
+
+(** Per-client connection state for the open-loop service layer: each
+    simulated client multiplexed onto a worker owns its own SCONE channel
+    and static nginx-style buffers over the shared server. *)
+type worker_conn = {
+  wc_fd : Sb_scone.Scone.fd;
+  wc_in : ptr;
+  wc_out : ptr;
+}
+
+let open_worker_conn ?(shield = Sb_scone.Scone.No_shield) srv =
+  {
+    wc_fd = Sb_scone.Scone.open_channel srv.world ~shield;
+    wc_in = srv.ctx.s.Scheme.malloc 1024;
+    wc_out = srv.ctx.s.Scheme.malloc (page_bytes + 1024);
+  }
+
+(** Serve exactly one request on [wc]'s connection — the nginx event
+    handler, addressable per worker by the service scheduler. *)
+let serve_request srv wc =
+  recv_request ~conn:wc.wc_fd srv ~conn_buf:wc.wc_in;
+  srv.ctx.s.Scheme.check_range wc.wc_in 256 Write;
+  for i = 0 to 255 do
+    srv.ctx.s.Scheme.store_unchecked (srv.ctx.s.Scheme.offset wc.wc_in i) 1 (i land 0x7f)
+  done;
+  work srv.ctx 3000;
+  send ~conn:wc.wc_fd srv ~out:wc.wc_out ~len:page_bytes
 
 (** Nginx under load: single-threaded event loop. *)
 let nginx_bench ctx ~requests =

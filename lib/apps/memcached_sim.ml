@@ -8,7 +8,8 @@
       8  : LRU prev (8)
       16 : LRU next (8)
       24 : key (8)
-      32 : value bytes
+      32 : expiry deadline in simulated cycles, 0 = never (8)
+      40 : value bytes
 
     The memaslap-like driver issues a 9:1 get:set mix over a skewed key
     popularity distribution.
@@ -24,7 +25,8 @@ module Libc = Sb_libc.Simlibc
 open Sb_protection.Types
 open Sb_workloads.Wctx
 
-let item_header = 32
+let item_header = 40
+let expiry_off = 32
 let slab_bytes = 64 * 1024
 
 type t = {
@@ -155,12 +157,30 @@ let evict_lru t =
     work t.ctx 40
   end
 
-(** GET: hash, chain walk, LRU touch, then stream the value out
-    (touching it the way the response path would). *)
+let now t = Memsys.get_clock t.ctx.ms (Memsys.current_thread t.ctx.ms)
+
+(* Lazy expiration, as in the real memcached: an expired item is only
+   reclaimed when a get trips over it. *)
+let expired t it =
+  let deadline = t.ctx.s.Scheme.safe_load (t.ctx.s.Scheme.offset it expiry_off) 8 in
+  deadline <> 0 && now t >= deadline
+
+let reclaim_expired t key it =
+  lru_unlink t it;
+  chain_unlink t key it;
+  t.slab_free <- it :: t.slab_free;
+  t.items <- t.items - 1;
+  work t.ctx 40
+
+(** GET: hash, chain walk, expiry check, LRU touch, then stream the
+    value out (touching it the way the response path would). *)
 let get t key =
   let b = bucket t key in
   match chain_find t (t.ctx.s.Scheme.load_ptr b) key with
   | None -> false
+  | Some it when expired t it ->
+    reclaim_expired t key it;
+    false
   | Some it ->
     lru_touch t it;
     let v = t.ctx.s.Scheme.offset it item_header in
@@ -174,8 +194,10 @@ let get t key =
     true
 
 (** SET: insert or overwrite; fresh items also join the LRU list head
-    (two more pointer stores, as in the real item_link). *)
-let set_kv t key seed =
+    (two more pointer stores, as in the real item_link). [ttl] is a
+    relative lifetime in simulated cycles (0 = never expires, the
+    default); sets always refresh the deadline. *)
+let set_kv ?(ttl = 0) t key seed =
   let b = bucket t key in
   let it =
     match chain_find t (t.ctx.s.Scheme.load_ptr b) key with
@@ -191,6 +213,9 @@ let set_kv t key seed =
       t.items <- t.items + 1;
       it
   in
+  t.ctx.s.Scheme.safe_store
+    (t.ctx.s.Scheme.offset it expiry_off) 8
+    (if ttl > 0 then now t + ttl else 0);
   let v = t.ctx.s.Scheme.offset it item_header in
   t.ctx.s.Scheme.check_range v t.value_bytes Write;
   let i = ref 0 in
@@ -222,6 +247,22 @@ let memaslap t ~keys ~ops =
       done);
   let elapsed = Memsys.get_clock t.ctx.ms 0 - start in
   (elapsed, ops)
+
+let item_count t = t.items
+let eviction_count t = t.evictions
+
+(** Open a dedicated client connection for a service worker. *)
+let open_conn ?(shield = Sb_scone.Scone.No_shield) t =
+  Sb_scone.Scone.open_channel t.world ~shield
+
+(** Serve one memaslap-style operation on a worker's own connection:
+    request in through the syscall interface, one get or set, response
+    out. [buf] must hold at least [request_bytes] and the value size. *)
+let serve_request t ~conn ~buf ~key ~is_get =
+  Sb_scone.Scone.feed t.world conn (String.make request_bytes 'r');
+  ignore (Sb_scone.Scone.read t.world conn ~buf ~len:request_bytes);
+  (if is_get then ignore (get t key) else set_kv t key key);
+  ignore (Sb_scone.Scone.write t.world conn ~buf ~len:t.value_bytes)
 
 (** CVE-2011-4971: binary-protocol packet with a negative (sign-extended)
     body length. The unsigned copy length becomes enormous and the copy

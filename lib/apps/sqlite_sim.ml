@@ -196,6 +196,11 @@ let delete t k =
   in
   go t.root
 
+(** One point query for the service layer: SELECT (the common case) or
+    UPDATE by key on the current thread. *)
+let serve_query t key ~is_select =
+  if is_select then ignore (select t key) else ignore (update t key)
+
 (** The speedtest-like driver: [items] inserts, then 4 passes of selects,
     2 of updates, then deletion of every other row and a final select
     pass — the paper's Figure 1 is this at increasing [items]. *)

@@ -40,6 +40,12 @@ type outcome =
   | Completed of metrics
   | Crashed of string
 
+(** Canonical short name of an environment, as used in tables, JSON and
+    TSV output. *)
+let env_name = function
+  | Config.Inside_enclave -> "enclave"
+  | Config.Outside_enclave -> "native"
+
 type result = {
   scheme : string;
   workload : string;
@@ -367,7 +373,6 @@ let json_of_result (r : result) =
       ("scheme", Json.Str r.scheme);
       ("n", Json.Int r.n);
       ("threads", Json.Int r.threads);
-      ( "env",
-        Json.Str (match r.env with Config.Inside_enclave -> "enclave" | Config.Outside_enclave -> "native") );
+      ("env", Json.Str (env_name r.env));
     ]
      @ outcome)

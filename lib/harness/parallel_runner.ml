@@ -61,6 +61,11 @@ let map ?(jobs = 1) f items =
       results
   end
 
+(** {!map} over a list, preserving order — the convenience shape most
+    sweep drivers (e.g. the service-layer rate sweep) want. *)
+let map_list ?jobs f items =
+  Array.to_list (map ?jobs f (Array.of_list items))
+
 (** One grid cell: a workload under a scheme in a given configuration.
     [n = None] uses the workload's default working set. *)
 type cell = {

@@ -1,5 +1,6 @@
 module Memsys = Sb_sgx.Memsys
 module Eff = Sb_machine.Eff
+module Config = Sb_machine.Config
 open Effect.Shallow
 
 type t = Memsys.t
@@ -11,10 +12,12 @@ type state =
 
 let yield () = if Eff.scheduler_active () then Effect.perform Eff.Yield
 
-let run ms fns =
-  if Eff.scheduler_active () then invalid_arg "Mt.run: nested parallel regions";
-  let n = Array.length fns in
-  assert (n >= 1 && n <= Array.length fns);
+let run_some ms fns n =
+  let max_threads = (Memsys.cfg ms).Config.max_threads in
+  if n > max_threads then
+    invalid_arg
+      (Printf.sprintf "Mt.run: %d threads exceed the machine's %d hardware threads"
+         n max_threads);
   let start = Memsys.get_clock ms (Memsys.current_thread ms) in
   for i = 0 to n - 1 do
     Memsys.set_clock ms i start
@@ -73,6 +76,16 @@ let run ms fns =
       Memsys.set_thread ms 0;
       Memsys.set_clock ms 0 !mx)
     loop
+
+(** Run each closure of [fns] as a cooperative simulated thread (thread
+    [i] runs [fns.(i)]), interleaved by the min-clock scheduler until all
+    finish. An empty array is a no-op; asking for more threads than the
+    machine's [Config.max_threads] hardware contexts is an
+    [Invalid_argument], as is starting a region inside another. *)
+let run ms fns =
+  if Eff.scheduler_active () then invalid_arg "Mt.run: nested parallel regions";
+  let n = Array.length fns in
+  if n > 0 then run_some ms fns n
 
 let parallel_for ms ~threads ~lo ~hi f =
   let n = max 1 threads in

@@ -2,6 +2,7 @@ module Memsys = Sb_sgx.Memsys
 module Vmem = Sb_vmem.Vmem
 module Scheme = Sb_protection.Scheme
 module Config = Sb_machine.Config
+module Telemetry = Sb_telemetry.Telemetry
 open Sb_protection.Types
 
 type shield = No_shield | Encrypted
@@ -71,12 +72,21 @@ let sent t fd = Buffer.contents (chan t fd).tx
 let clear_sent t fd = Buffer.clear (chan t fd).tx
 let syscalls t = t.syscalls
 
+(* Syscall and shield costs also land in the telemetry hub (counters
+   [scone.syscalls], [scone.shield_bytes], [scone.shield_cycles]) so a
+   service run can attribute boundary-crossing overhead per request. *)
 let charge_transition t =
   t.syscalls <- t.syscalls + 1;
+  Telemetry.incr (Memsys.telemetry t.ms) "scone.syscalls";
   Memsys.charge_alu t.ms (if t.inside then queue_round_trip else kernel_syscall)
 
 let charge_shield t c len =
-  if t.inside && c.shield = Encrypted then Memsys.charge_alu t.ms (shield_per_byte * len)
+  if t.inside && c.shield = Encrypted && len > 0 then begin
+    let tel = Memsys.telemetry t.ms in
+    Telemetry.incr tel ~by:len "scone.shield_bytes";
+    Telemetry.incr tel ~by:(shield_per_byte * len) "scone.shield_cycles";
+    Memsys.charge_alu t.ms (shield_per_byte * len)
+  end
 
 (* Copy [len] bytes between the app buffer and the syscall slot in
    chunks: the SCONE argument copy. Only performed inside the enclave
@@ -95,6 +105,9 @@ let stage_copy t ~app_addr ~len ~to_slot =
     done
   end
 
+(* Zero-length transfers (len = 0, or a read from an empty channel) are
+   free: the model counts only effective syscalls, so no transition,
+   shield or copy cost is charged and the buffer is never checked. *)
 let read t fd ~buf ~len =
   let c = chan t fd in
   let n = min len (String.length c.rx) in

@@ -1,0 +1,107 @@
+(** The Figure 13 throughput–latency experiment: sweep offered rate per
+    (app, scheme, environment) cell, one fresh machine per cell, fanned
+    across domains by {!Sb_harness.Parallel_runner}.
+
+    Each cell is self-contained and deterministic, so results are
+    identical for any [--jobs] and for either memory engine; machines are
+    retired into {!Sb_machine.Pool} after each cell so a sweep recycles
+    its big arrays instead of re-faulting fresh ones. *)
+
+module Config = Sb_machine.Config
+module Memsys = Sb_sgx.Memsys
+module Harness = Sb_harness.Harness
+module Parallel_runner = Sb_harness.Parallel_runner
+module Wctx = Sb_workloads.Wctx
+open Sb_protection.Types
+
+type cell = {
+  app : Drivers.app;
+  scheme : string;
+  env : Config.env;
+  cfg : Service.config;
+}
+
+type point = {
+  pt_app : string;
+  pt_scheme : string;
+  pt_env : Config.env;
+  pt_rate : float;
+  pt_outcome : (Service.stats, string) result;
+}
+
+(** Run one cell on a fresh machine; the machine is retired to the pool
+    afterwards. Scheme setup or serving crashes become [Error]. *)
+let run_cell (c : cell) =
+  let ms = Memsys.create (Config.default ~env:c.env ()) in
+  let outcome =
+    match
+      let s = Harness.maker c.scheme ms in
+      let ctx = Wctx.make ~seed:c.cfg.Service.seed ~threads:c.cfg.Service.workers s in
+      let handler = Drivers.make c.app ctx ~workers:c.cfg.Service.workers in
+      Service.run ms c.cfg handler
+    with
+    | st -> Ok st
+    | exception App_crash msg -> Error msg
+    | exception Sb_vmem.Vmem.Enclave_oom _ -> Error "enclave out of memory"
+    | exception Violation v -> Error (Fmt.str "%a" pp_violation v)
+  in
+  Memsys.retire ms;
+  {
+    pt_app = Drivers.name c.app;
+    pt_scheme = c.scheme;
+    pt_env = c.env;
+    pt_rate = c.cfg.Service.rate_rps;
+    pt_outcome = outcome;
+  }
+
+(** Closed-loop capacity estimate for calibrating a sweep: offer the
+    whole schedule at once (every arrival at t=0, queue deep enough to
+    hold it) and measure completions per second — the server's peak
+    service rate with no idle gaps. *)
+let capacity ~app ~scheme ~env ~workers ~requests ~seed =
+  let cfg =
+    {
+      Service.workers;
+      queue_cap = max 1 requests;
+      requests;
+      rate_rps = 1e15;
+      process = Loadgen.Fixed;
+      seed;
+    }
+  in
+  let pt = run_cell { app; scheme; env; cfg } in
+  match pt.pt_outcome with
+  | Ok st -> Some (Service.throughput_rps st)
+  | Error _ -> None
+
+(** Run [cells] across [jobs] domains; results in cell order. *)
+let sweep ?jobs cells = Parallel_runner.map_list ?jobs run_cell cells
+
+(* ---------- TSV export ---------- *)
+
+let tsv_header =
+  "app\tscheme\tenv\toffered_rps\tthroughput_rps\toffered\tcompleted\tdropped\t\
+   max_queue\tp50_cycles\tp95_cycles\tp99_cycles\tmean_cycles\tmax_cycles\tstatus"
+
+let tsv_line (p : point) =
+  match p.pt_outcome with
+  | Error msg ->
+    Printf.sprintf "%s\t%s\t%s\t%.0f\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\tcrashed: %s"
+      p.pt_app p.pt_scheme (Harness.env_name p.pt_env) p.pt_rate msg
+  | Ok st ->
+    let s = Service.summary st in
+    Printf.sprintf "%s\t%s\t%s\t%.0f\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t%d\tok"
+      p.pt_app p.pt_scheme (Harness.env_name p.pt_env) p.pt_rate
+      (Service.throughput_rps st) st.Service.offered st.Service.completed
+      st.Service.dropped st.Service.max_queue s.Latency.p50 s.Latency.p95
+      s.Latency.p99 s.Latency.mean s.Latency.max
+
+(** Write the sweep as a TSV table (one row per point), creating the
+    directory if needed. *)
+let write_tsv ~path points =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (tsv_header ^ "\n");
+  List.iter (fun p -> output_string oc (tsv_line p ^ "\n")) points;
+  close_out oc

@@ -1,0 +1,45 @@
+(** Latency summaries over the power-of-two histograms of
+    {!Sb_telemetry.Metrics.Histogram}, plus the exact sorted-array
+    reference the tests compare them against. *)
+
+module Histogram = Sb_telemetry.Metrics.Histogram
+
+type summary = {
+  count : int;
+  mean : float;   (* cycles *)
+  max : int;      (* cycles *)
+  p50 : int;      (* cycles, rank-interpolated *)
+  p95 : int;
+  p99 : int;
+}
+
+let summary h =
+  {
+    count = Histogram.count h;
+    mean = Histogram.mean h;
+    max = Histogram.max_value h;
+    p50 = Histogram.quantile_interp h 0.50;
+    p95 = Histogram.quantile_interp h 0.95;
+    p99 = Histogram.quantile_interp h 0.99;
+  }
+
+(** Exact quantile of a sample set: the value of rank [ceil (q * n)] in
+    the sorted order (the nearest-rank definition the histogram
+    estimators approximate). *)
+let exact_percentile samples q =
+  let n = Array.length samples in
+  if n = 0 then 0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+    sorted.(rank - 1)
+  end
+
+(* The machine runs at a simulated 1 GHz, so cycles/1000 = microseconds. *)
+let us_of_cycles c = float_of_int c /. 1000.
+
+let pp ppf s =
+  Fmt.pf ppf "p50 %.1fus  p95 %.1fus  p99 %.1fus  mean %.1fus  max %.1fus"
+    (us_of_cycles s.p50) (us_of_cycles s.p95) (us_of_cycles s.p99)
+    (s.mean /. 1000.) (us_of_cycles s.max)

@@ -65,7 +65,9 @@ module Histogram = struct
     !acc
 
   (** Smallest bucket upper bound below which at least [q] (0..1) of the
-      samples fall — a coarse quantile, exact only at bucket edges. *)
+      samples fall — a coarse quantile, exact only at bucket edges. The
+      overflow bucket has no representable upper bound ([1 lsl 62] wraps
+      negative), so samples landing there report the observed max. *)
   let quantile t q =
     if t.count = 0 then 0
     else begin
@@ -74,7 +76,36 @@ module Histogram = struct
         if i >= nbuckets then t.max
         else
           let seen = seen + t.buckets.(i) in
-          if seen >= target then 1 lsl (i + 1) else go (i + 1) seen
+          if seen >= target then
+            if i = nbuckets - 1 then t.max else 1 lsl (i + 1)
+          else go (i + 1) seen
+      in
+      go 0 0
+    end
+
+  (** Rank-interpolated quantile: locate the bucket holding the sample
+      of rank [ceil (q * count)] and interpolate linearly by rank within
+      the bucket's value range. The result always lies inside that
+      bucket and never exceeds the observed max, so the error is bounded
+      by the bucket width (a factor of 2) instead of {!quantile}'s
+      round-up-to-edge bias. *)
+  let quantile_interp t q =
+    if t.count = 0 then 0
+    else begin
+      let target = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+      let rec go i seen =
+        if i >= nbuckets then t.max
+        else
+          let inb = t.buckets.(i) in
+          if seen + inb >= target then begin
+            let lo = if i = 0 then 0 else 1 lsl i in
+            (* the overflow bucket's only safe upper bound is the max *)
+            let hi = if i = nbuckets - 1 then t.max + 1 else 1 lsl (i + 1) in
+            let hi = Stdlib.max hi (lo + 1) in
+            let frac = float_of_int (target - seen) /. float_of_int inb in
+            Stdlib.min t.max (lo + int_of_float (frac *. float_of_int (hi - 1 - lo)))
+          end
+          else go (i + 1) (seen + inb)
       in
       go 0 0
     end

@@ -1,0 +1,19 @@
+# fig13_latency — open-loop throughput vs p99 sojourn time per scheme.
+# One panel per app; filter rows by app and plot one curve per
+# (scheme, env) pair. Cycles/1000 = microseconds (simulated 1 GHz).
+set xlabel 'completed kops/s'
+set ylabel 'p99 sojourn (us)'
+set logscale y
+set key top left
+set grid
+set title 'Figure 13: throughput-latency curves (memcached panel)'
+plot '< grep -P "^memcached\tnative\tnative" fig13_latency.tsv' \
+       using ($5/1000):($12/1000) with linespoints title 'native (outside)', \
+     '< grep -P "^memcached\tnative\tenclave" fig13_latency.tsv' \
+       using ($5/1000):($12/1000) with linespoints title 'SGX', \
+     '< grep -P "^memcached\tsgxbounds\t" fig13_latency.tsv' \
+       using ($5/1000):($12/1000) with linespoints title 'SGXBounds', \
+     '< grep -P "^memcached\tasan\t" fig13_latency.tsv' \
+       using ($5/1000):($12/1000) with linespoints title 'ASan', \
+     '< grep -P "^memcached\tmpx\t" fig13_latency.tsv' \
+       using ($5/1000):($12/1000) with linespoints title 'MPX'

@@ -341,3 +341,122 @@ let prop_memcached_matches_reference =
 let model_suite = [ qtest prop_sqlite_matches_reference; qtest prop_memcached_matches_reference ]
 
 let suite = suite @ model_suite
+
+(* --- protocol conformance: golden wire traces, malformed requests, expiry --- *)
+
+module Scone = Sb_scone.Scone
+
+let conformance_schemes =
+  [ ("native", native); ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ]
+
+let test_http_golden_wire_trace () =
+  (* the response bytes on the wire are a pure function of the request,
+     not of the protection scheme: every scheme serves the same page *)
+  let trace maker =
+    let ctx = ctx_of maker in
+    let srv = Http.create_server ctx in
+    let wc = Http.open_worker_conn srv in
+    Http.serve_request srv wc;
+    Scone.sent srv.Http.world wc.Http.wc_fd
+  in
+  let golden = trace native in
+  Alcotest.(check int) "response is the full static page" Http.page_bytes
+    (String.length golden);
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check string) (name ^ ": byte-identical response") golden
+         (trace maker))
+    conformance_schemes
+
+let test_memcached_golden_wire_trace () =
+  let trace maker =
+    let ctx = ctx_of maker in
+    let t = Memcached.create ~nbuckets:256 ctx in
+    Memcached.set_kv t 7 7;
+    let conn = Memcached.open_conn t in
+    let buf = ctx.Wctx.s.Scheme.malloc 1024 in
+    Memcached.serve_request t ~conn ~buf ~key:7 ~is_get:true;
+    Scone.sent t.Memcached.world conn
+  in
+  let golden = trace native in
+  Alcotest.(check int) "response carries the default value size" 96
+    (String.length golden);
+  Alcotest.(check string) "response echoes the request prefix"
+    (String.make Memcached.request_bytes 'r')
+    (String.sub golden 0 Memcached.request_bytes);
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check string) (name ^ ": byte-identical response") golden
+         (trace maker))
+    conformance_schemes
+
+let test_sqlite_serve_query_clean () =
+  List.iter
+    (fun (name, maker) ->
+       let ctx = ctx_of maker in
+       let t = Sqlite.create ctx in
+       for k = 0 to 63 do
+         Sqlite.insert_row t k
+       done;
+       match
+         Sqlite.serve_query t 5 ~is_select:true;
+         Sqlite.serve_query t 6 ~is_select:false;
+         Sqlite.serve_query t 9999 ~is_select:true
+       with
+       | () -> ()
+       | exception Sb_protection.Types.Violation v ->
+         Alcotest.failf "%s: false positive: %a" name Sb_protection.Types.pp_violation v)
+    conformance_schemes
+
+let test_malformed_packet_lengths () =
+  (* zero-length body: trivially processed everywhere *)
+  List.iter
+    (fun (name, maker) ->
+       let ctx = ctx_of maker in
+       Alcotest.(check bool) (name ^ ": empty body processed") true
+         (Memcached.handle_binary_packet (Memcached.create ctx) ~body_len:0
+          = Memcached.Processed))
+    conformance_schemes;
+  (* oversized positive body: runs off the 1 KiB connection buffer *)
+  let over maker =
+    let ctx = ctx_of maker in
+    Memcached.handle_binary_packet (Memcached.create ctx) ~body_len:8192
+  in
+  Alcotest.(check bool) "native: oversized body corrupts or crashes" true
+    (over native <> Memcached.Processed);
+  List.iter
+    (fun (name, maker) ->
+       Alcotest.(check bool) (name ^ ": oversized body dropped") true
+         (over maker = Memcached.Detected_dropped))
+    [ ("sgxbounds", sgxb); ("asan", asan); ("mpx", mpx) ]
+
+let test_memcached_expiry_roundtrip () =
+  let ctx = ctx_of sgxb in
+  let t = Memcached.create ~nbuckets:64 ctx in
+  Memcached.set_kv t 1 1;                    (* ttl 0: never expires *)
+  Memcached.set_kv ~ttl:50_000 t 2 2;
+  Alcotest.(check bool) "fresh item served" true (Memcached.get t 2);
+  let items = Memcached.item_count t in
+  Memsys.charge_alu ctx.Wctx.ms 60_000;      (* advance past the deadline *)
+  Alcotest.(check bool) "expired item lazily dropped" false (Memcached.get t 2);
+  Alcotest.(check int) "reclaimed on the failed get" (items - 1)
+    (Memcached.item_count t);
+  Alcotest.(check bool) "ttl-less item unaffected" true (Memcached.get t 1);
+  Memcached.set_kv ~ttl:50_000 t 2 2;
+  Alcotest.(check bool) "re-set after expiry serves again" true (Memcached.get t 2)
+
+let conformance_suite =
+  [
+    Alcotest.test_case "http: golden wire trace across schemes" `Quick
+      test_http_golden_wire_trace;
+    Alcotest.test_case "memcached: golden wire trace across schemes" `Quick
+      test_memcached_golden_wire_trace;
+    Alcotest.test_case "sqlite: serve_query clean across schemes" `Quick
+      test_sqlite_serve_query_clean;
+    Alcotest.test_case "memcached: malformed packet lengths" `Quick
+      test_malformed_packet_lengths;
+    Alcotest.test_case "memcached: expiry round-trip" `Quick
+      test_memcached_expiry_roundtrip;
+  ]
+
+let suite = suite @ conformance_suite

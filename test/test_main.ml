@@ -20,6 +20,7 @@ let () =
       ("apps", Test_apps.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite);
       ("fex", Test_fex.suite);
       ("narrowing", Test_narrowing.suite);
       ("differential", Test_differential.suite);

@@ -111,3 +111,97 @@ let suite =
     Alcotest.test_case "nested regions rejected" `Quick test_nested_run_rejected;
     Alcotest.test_case "yield outside region is a no-op" `Quick test_yield_outside_region_is_noop;
   ]
+
+(* --- service-layer hardening: fairness, channel ops, exhaustion --- *)
+
+let test_fair_rounds () =
+  (* with equal per-turn cost, the min-clock scheduler gives every
+     runnable thread exactly one turn per round — no thread can lag a
+     full round behind *)
+  let m = ms () in
+  let n = 5 and rounds = 6 in
+  let order = ref [] in
+  let worker i () =
+    for _ = 1 to rounds do
+      order := i :: !order;
+      Memsys.charge_alu m 100;
+      Mt.yield ()
+    done
+  in
+  Mt.run m (Array.init n (fun i -> worker i));
+  let seq = Array.of_list (List.rev !order) in
+  Alcotest.(check int) "every turn recorded" (n * rounds) (Array.length seq);
+  for r = 0 to rounds - 1 do
+    let round = Array.sub seq (r * n) n in
+    Array.sort compare round;
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d runs each thread once" r)
+      (Array.init n Fun.id) round
+  done
+
+let test_yield_during_channel_ops () =
+  (* explicit yields between composing and sending a message must not
+     let another thread corrupt this thread's channel or buffer *)
+  let m, s = fresh native in
+  let w = Sb_scone.Scone.create s in
+  let n = 3 in
+  let fds =
+    Array.init n (fun _ -> Sb_scone.Scone.open_channel w ~shield:Sb_scone.Scone.No_shield)
+  in
+  let bufs = Array.init n (fun _ -> s.Scheme.malloc 64) in
+  let payload i r = Printf.sprintf "t%d.%d;" i r in
+  let worker i () =
+    for r = 1 to 4 do
+      let p = payload i r in
+      Sb_vmem.Vmem.write_string (Memsys.vmem m) ~addr:(s.Scheme.addr_of bufs.(i)) p;
+      Mt.yield ();
+      ignore (Sb_scone.Scone.write w fds.(i) ~buf:bufs.(i) ~len:(String.length p));
+      Mt.yield ()
+    done
+  in
+  Mt.run m (Array.init n (fun i -> worker i));
+  for i = 0 to n - 1 do
+    let expect = String.concat "" (List.map (payload i) [ 1; 2; 3; 4 ]) in
+    Alcotest.(check string)
+      (Printf.sprintf "channel %d ordered and uncorrupted" i)
+      expect
+      (Sb_scone.Scone.sent w fds.(i))
+  done
+
+let test_thread_exhaustion () =
+  let m = ms () in
+  let max_t = (Memsys.cfg m).Config.max_threads in
+  let hits = Array.make max_t false in
+  Mt.run m (Array.init max_t (fun i () -> hits.(i) <- true));
+  Alcotest.(check bool) "the full hardware complement runs" true
+    (Array.for_all Fun.id hits);
+  (match Mt.run m (Array.init (max_t + 1) (fun _ () -> ())) with
+   | () -> Alcotest.fail "oversubscription accepted"
+   | exception Invalid_argument _ -> ());
+  (* a rejected region must not leave the scheduler wedged *)
+  Alcotest.(check bool) "scheduler still inactive" false
+    (Sb_machine.Eff.scheduler_active ());
+  Mt.run m [||];
+  Mt.run m [| (fun () -> ()) |]
+
+let prop_elapsed_is_max_cost =
+  QCheck.Test.make ~name:"mt: region elapsed time is the slowest thread's cost"
+    ~count:40
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_bound 2000))
+    (fun costs ->
+       let m = ms () in
+       let fns = List.map (fun c () -> Memsys.charge_alu m c) costs in
+       Mt.run m (Array.of_list fns);
+       Memsys.get_clock m 0 = List.fold_left max 0 costs)
+
+let service_suite =
+  [
+    Alcotest.test_case "fairness: each round runs every thread" `Quick test_fair_rounds;
+    Alcotest.test_case "yield during channel ops is safe" `Quick
+      test_yield_during_channel_ops;
+    Alcotest.test_case "thread exhaustion: cap enforced, recoverable" `Quick
+      test_thread_exhaustion;
+    qtest prop_elapsed_is_max_cost;
+  ]
+
+let suite = suite @ service_suite

@@ -156,3 +156,108 @@ let prop_write_preserves_bytes =
 let props_suite = [ qtest prop_feed_read_roundtrip; qtest prop_write_preserves_bytes ]
 
 let suite = suite @ props_suite
+
+(* --- service-layer edge cases: zero-length I/O, shields, telemetry --- *)
+
+let test_zero_length_transfers_free () =
+  let m, s, w = world sgxb in
+  let fd = Scone.open_channel w ~shield:Scone.Encrypted in
+  let buf = s.Scheme.malloc 16 in
+  Memsys.reset m;
+  Alcotest.(check int) "zero-length write returns 0" 0 (Scone.write w fd ~buf ~len:0);
+  Alcotest.(check int) "read from an empty channel returns 0" 0
+    (Scone.read w fd ~buf ~len:16);
+  Alcotest.(check int) "no syscalls counted" 0 (Scone.syscalls w);
+  Alcotest.(check int) "no cycles charged" 0 (Memsys.snapshot m).Memsys.cycles
+
+let test_shield_preserves_payload () =
+  (* the shield changes cost, never content: both directions deliver
+     byte-identical payloads with and without encryption *)
+  let m, s, w = world native in
+  let plain = Scone.open_channel w ~shield:Scone.No_shield in
+  let enc = Scone.open_channel w ~shield:Scone.Encrypted in
+  let payload = "shielded bytes arrive verbatim" in
+  let buf = s.Scheme.malloc 64 in
+  Sb_vmem.Vmem.write_string (Memsys.vmem m) ~addr:(s.Scheme.addr_of buf) payload;
+  ignore (Scone.write w plain ~buf ~len:(String.length payload));
+  ignore (Scone.write w enc ~buf ~len:(String.length payload));
+  Alcotest.(check string) "wire bytes identical" (Scone.sent w plain) (Scone.sent w enc);
+  Scone.feed w plain "abc";
+  Scone.feed w enc "abc";
+  let b2 = s.Scheme.malloc 8 in
+  let delivered fd =
+    ignore (Scone.read w fd ~buf:b2 ~len:3);
+    Sb_vmem.Vmem.read_string (Memsys.vmem m) ~addr:(s.Scheme.addr_of b2) ~len:3
+  in
+  Alcotest.(check string) "delivered bytes identical" (delivered plain) (delivered enc)
+
+let test_interleaved_channels_across_threads () =
+  (* worker threads writing concurrently (auto-yields fire inside the
+     copy loops) must keep per-channel streams intact and ordered *)
+  let m, s, w = world native in
+  let n = 4 and reps = 5 and len = 128 in
+  let fds = Array.init n (fun _ -> Scone.open_channel w ~shield:Scone.No_shield) in
+  let bufs =
+    Array.init n (fun i ->
+        let b = s.Scheme.malloc len in
+        Sb_vmem.Vmem.write_string (Memsys.vmem m) ~addr:(s.Scheme.addr_of b)
+          (String.make len (Char.chr (Char.code 'a' + i)));
+        b)
+  in
+  Sb_mt.Mt.run m
+    (Array.init n (fun i () ->
+         for _ = 1 to reps do
+           ignore (Scone.write w fds.(i) ~buf:bufs.(i) ~len)
+         done));
+  Array.iteri
+    (fun i fd ->
+       Alcotest.(check string)
+         (Printf.sprintf "channel %d stream intact" i)
+         (String.make (reps * len) (Char.chr (Char.code 'a' + i)))
+         (Scone.sent w fd))
+    fds
+
+let test_shield_telemetry_regression () =
+  (* regression pin: one Encrypted 100-byte write inside the enclave
+     charges exactly shield_per_byte (4) cycles per byte to telemetry *)
+  let tel = Sb_telemetry.Telemetry.create () in
+  let m = Memsys.create ~tel (Config.default ~env:Config.Inside_enclave ()) in
+  let s = Sb_protection.Native.make m in
+  let w = Scone.create s in
+  let fd = Scone.open_channel w ~shield:Scone.Encrypted in
+  let buf = s.Scheme.malloc 128 in
+  let counter t name =
+    match List.assoc_opt name (Sb_telemetry.Telemetry.counters t) with
+    | Some v -> v
+    | None -> 0
+  in
+  ignore (Scone.write w fd ~buf ~len:100);
+  Alcotest.(check int) "one syscall counted" 1 (counter tel "scone.syscalls");
+  Alcotest.(check int) "shielded bytes" 100 (counter tel "scone.shield_bytes");
+  Alcotest.(check int) "shield cycles = 4 per byte" 400
+    (counter tel "scone.shield_cycles");
+  (* outside the enclave the shield is a no-op and never counted *)
+  let tel2 = Sb_telemetry.Telemetry.create () in
+  let m2 = Memsys.create ~tel:tel2 (Config.default ~env:Config.Outside_enclave ()) in
+  let s2 = Sb_protection.Native.make m2 in
+  let w2 = Scone.create s2 in
+  let fd2 = Scone.open_channel w2 ~shield:Scone.Encrypted in
+  let buf2 = s2.Scheme.malloc 128 in
+  ignore (Scone.write w2 fd2 ~buf:buf2 ~len:100);
+  Alcotest.(check int) "outside: syscall still counted" 1 (counter tel2 "scone.syscalls");
+  Alcotest.(check int) "outside: no shield cycles" 0 (counter tel2 "scone.shield_cycles");
+  Alcotest.(check int) "outside: no shield bytes" 0 (counter tel2 "scone.shield_bytes")
+
+let edge_suite =
+  [
+    Alcotest.test_case "zero-length transfers are free" `Quick
+      test_zero_length_transfers_free;
+    Alcotest.test_case "shield preserves payloads both ways" `Quick
+      test_shield_preserves_payload;
+    Alcotest.test_case "interleaved channels from worker threads" `Quick
+      test_interleaved_channels_across_threads;
+    Alcotest.test_case "per-call shield cost pinned in telemetry" `Quick
+      test_shield_telemetry_regression;
+  ]
+
+let suite = suite @ edge_suite

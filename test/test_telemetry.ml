@@ -300,3 +300,48 @@ let suite =
     Alcotest.test_case "table/csv/json sinks" `Quick test_sink_table_and_csv;
     Alcotest.test_case "maker error lists schemes" `Quick test_maker_error_lists_schemes;
   ]
+
+(* --- quantile corners: single bucket, overflow bucket --- *)
+
+let test_histogram_quantile_corners () =
+  (* single occupied bucket: both estimators stay inside it *)
+  let h = Metrics.Histogram.create "single" in
+  for _ = 1 to 50 do
+    Metrics.Histogram.observe h 6
+  done;
+  Alcotest.(check int) "edge quantile rounds to the bucket top" 8
+    (Metrics.Histogram.quantile h 0.5);
+  List.iter
+    (fun q ->
+       let v = Metrics.Histogram.quantile_interp h q in
+       Alcotest.(check bool)
+         (Printf.sprintf "interp q=%.2f inside [4,6]" q)
+         true (v >= 4 && v <= 6))
+    [ 0.01; 0.50; 0.99; 1.0 ];
+  (* overflow bucket: values past 2^61 have no representable bucket top,
+     so estimators must report the observed max instead of a wrapped
+     (negative) bound *)
+  let o = Metrics.Histogram.create "overflow" in
+  let huge = (1 lsl 61) + 5 in
+  Metrics.Histogram.observe o 3;
+  Metrics.Histogram.observe o huge;
+  Alcotest.(check int) "edge quantile reports the observed max" huge
+    (Metrics.Histogram.quantile o 1.0);
+  Alcotest.(check int) "interp caps at the observed max" huge
+    (Metrics.Histogram.quantile_interp o 1.0);
+  Alcotest.(check bool) "median stays in the low bucket" true
+    (Metrics.Histogram.quantile_interp o 0.5 <= 4);
+  (* max_int itself stays finite and nonnegative *)
+  let x = Metrics.Histogram.create "maxint" in
+  Metrics.Histogram.observe x max_int;
+  Alcotest.(check int) "quantile of max_int sample" max_int
+    (Metrics.Histogram.quantile x 1.0);
+  let v = Metrics.Histogram.quantile_interp x 1.0 in
+  Alcotest.(check bool) "interp nonnegative and bounded" true (v >= 0 && v <= max_int)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "histogram quantile corners" `Quick
+        test_histogram_quantile_corners;
+    ]
