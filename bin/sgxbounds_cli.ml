@@ -371,6 +371,85 @@ let fuzz_cmd =
              the exact replay command, and exits 1.")
     Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ bad_arg $ inject_arg $ quiet_arg)
 
+let analyze_cmd =
+  let module Analyze = Sb_analysis.Analyze in
+  let run workload scheme threads n outside json selftest full =
+    if selftest then begin
+      let sts = Analyze.selftests () in
+      let ok = Analyze.print_selftests sts in
+      if not ok then exit 1
+    end
+    else begin
+      let workloads =
+        match workload with
+        | None -> Registry.all
+        | Some name -> [ find_workload name ]
+      in
+      let schemes =
+        match scheme with
+        | None -> Analyze.default_schemes
+        | Some s ->
+          check_scheme s;
+          [ s ]
+      in
+      let n = if full then Some None else Option.map Option.some n in
+      (* [n]: None = smoke size per workload; Some None = registry default_n *)
+      let cells =
+        List.concat_map
+          (fun (w : Registry.spec) ->
+             List.map
+               (fun scheme ->
+                  let n =
+                    match n with
+                    | None -> None
+                    | Some None -> Some w.Registry.default_n
+                    | Some (Some n) -> Some n
+                  in
+                  Analyze.run_cell ~env:(env_of outside) ~threads ?n ~scheme w)
+               schemes)
+          workloads
+      in
+      if json then Fmt.pr "%s@." (Json.to_string (Analyze.json_report cells))
+      else Analyze.print_report cells;
+      if Analyze.cells_findings cells > 0 || Analyze.cells_crashed cells > 0 then
+        exit 1
+    end
+  in
+  let workload_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~doc:"Audit only this workload (default: all).")
+  in
+  let scheme_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "s"; "scheme" ]
+             ~doc:"Audit only this scheme (default: native, sgxbounds, asan, mpx).")
+  in
+  let selftest_arg =
+    Arg.(value & flag
+         & info [ "selftest" ]
+             ~doc:"Verify the auditor itself: the seeded §4.1 MPX bounds-table race \
+                   must be detected (and not under sgxbounds), deliberately broken \
+                   annotations (bad hoist / bogus safe access / mismatched libc \
+                   widths) must be flagged, and a disciplined kernel must audit \
+                   clean under every scheme.")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Audit at the registry's full default working-set sizes instead \
+                   of smoke sizes.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Instrumentation audit: run workloads under schemes wrapped in the \
+             auditing meta-scheme, which verifies the §4.4 check contracts \
+             (check_range coverage of unchecked accesses, safe-access claims, \
+             libc wrapper widths) and — for multithreaded runs — detects \
+             unsynchronized data and scheme-metadata races via vector-clock \
+             happens-before. Exits non-zero on any finding or crash.")
+    Term.(const run $ workload_opt_arg $ scheme_opt_arg $ threads_arg $ n_arg
+          $ outside_arg $ json_arg $ selftest_arg $ full_arg)
+
 let serve_cmd =
   let module Service = Sb_service.Service in
   let module Loadgen = Sb_service.Loadgen in
@@ -500,4 +579,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd;
-            validate_bench_cmd; fuzz_cmd; serve_cmd ]))
+            validate_bench_cmd; fuzz_cmd; analyze_cmd; serve_cmd ]))

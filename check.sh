@@ -79,6 +79,20 @@ else
   echo "$shed_out" | grep -q '"dropped"'
 fi
 
+echo "== audit selftest: seeded race + annotation mutants"
+"$CLI" analyze --selftest >/dev/null
+
+echo "== audit sweep: all workloads x 4 schemes must be clean"
+# Exits non-zero on any contract violation or race finding; the JSON
+# summary is additionally asserted to be all-clean when jq is present.
+audit_out=$("$CLI" analyze --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$audit_out" | jq -e '.summary.findings == 0 and .summary.crashed == 0' >/dev/null
+  echo "$audit_out" | jq -e '[.cells[] | select(.ops_audited == 0)] | length == 0' >/dev/null
+else
+  echo "$audit_out" | grep -q '"findings":0'
+fi
+
 echo "== CLI smoke: unknown names are clean errors"
 if "$CLI" run -w nosuchworkload -s sgxbounds >/dev/null 2>&1; then
   echo "expected failure for unknown workload" >&2
@@ -90,6 +104,14 @@ if "$CLI" run -w kmeans -s nosuchscheme >/dev/null 2>&1; then
 fi
 if "$CLI" serve --app nosuchapp --rate 1000 >/dev/null 2>&1; then
   echo "expected failure for unknown app" >&2
+  exit 1
+fi
+if "$CLI" analyze -w nosuchworkload >/dev/null 2>&1; then
+  echo "expected failure for unknown analyze workload" >&2
+  exit 1
+fi
+if "$CLI" analyze -s nosuchscheme >/dev/null 2>&1; then
+  echo "expected failure for unknown analyze scheme" >&2
   exit 1
 fi
 

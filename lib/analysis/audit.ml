@@ -1,0 +1,592 @@
+(** The instrumentation auditor: a meta-scheme that wraps any
+    {!Sb_protection.Scheme.t} and verifies the discipline behind the
+    paper's §4.4 optimizations, which the workload kernels otherwise
+    merely assert by hand:
+
+    - every [load_unchecked]/[store_unchecked] must be dominated by a
+      still-valid [check_range] on the same live object whose extent
+      covers the access (and a [Read] check only licenses reads — a
+      [Write] check licenses both directions);
+    - every [safe_load]/[safe_store] must be statically in-bounds for
+      its live object (the "compiler can prove it" claim);
+    - every byte of raw libc traffic ({!Sb_libc.Simlibc} declares it
+      through [Scheme.libc_touch]) must match a preceding [libc_check]
+      of the same buffer, direction and width;
+    - a vector-clock happens-before race detector over {!Sb_mt.Mt}
+      fork/join regions flags unsynchronized conflicting accesses to
+      application data *and* to scheme metadata — which turns the MPX
+      bounds-table non-atomicity of §4.1/Figure 4c into a reported
+      finding rather than a bespoke example.
+
+    The wrapper is pure observation: it calls each inner operation
+    exactly once, charges no simulated cycles and allocates no simulated
+    memory, so audited runs produce bit-identical metrics to unaudited
+    ones (pinned by tests). All bookkeeping is host-side.
+
+    Object identity is tracked by address (the scheme interface has no
+    pointer provenance), with objects born at
+    malloc/calloc/realloc/global/stack_alloc and dying at
+    free/realloc/stack_pop; a recorded [check_range] stays valid for the
+    lifetime of its object. One auditor is active per domain at a time
+    (it owns the {!Sb_mt.Mt.set_region_tracer} slot). *)
+
+module Memsys = Sb_sgx.Memsys
+module Config = Sb_machine.Config
+module Eff = Sb_machine.Eff
+module Scheme = Sb_protection.Scheme
+module Telemetry = Sb_telemetry.Telemetry
+open Sb_protection.Types
+
+module Imap = Map.Make (Int)
+
+type kind =
+  | Unchecked_uncovered  (** [*_unchecked] without a covering live check *)
+  | Check_oob            (** [check_range]/[libc_check] extent exceeds its object *)
+  | Safe_oob             (** [safe_*] not statically in-bounds *)
+  | Libc_mismatch        (** [libc_check] width disagrees with bytes touched *)
+  | Libc_unchecked       (** raw libc traffic with no matching [libc_check] *)
+  | Data_race            (** conflicting unsynchronized data accesses *)
+  | Meta_race            (** conflicting unsynchronized metadata accesses *)
+
+let kind_name = function
+  | Unchecked_uncovered -> "unchecked-uncovered"
+  | Check_oob -> "check-oob"
+  | Safe_oob -> "safe-oob"
+  | Libc_mismatch -> "libc-mismatch"
+  | Libc_unchecked -> "libc-unchecked"
+  | Data_race -> "data-race"
+  | Meta_race -> "meta-race"
+
+let all_kinds =
+  [ Unchecked_uncovered; Check_oob; Safe_oob; Libc_mismatch; Libc_unchecked;
+    Data_race; Meta_race ]
+
+type finding = {
+  f_kind : kind;
+  f_op : string;    (** scheme entry point or libc function *)
+  f_addr : int;
+  f_width : int;
+  f_thread : int;
+  f_detail : string;
+}
+
+let pp_finding ppf f =
+  Fmt.pf ppf "[%s] %s: %d byte(s) at 0x%x (thread %d): %s" (kind_name f.f_kind)
+    f.f_op f.f_width f.f_addr f.f_thread f.f_detail
+
+(* ---------- live objects and their recorded checks ---------- *)
+
+type obj = {
+  o_lo : int;
+  o_hi : int;
+  (* deduplicated [lo, hi, access) extents of live check_range calls *)
+  mutable o_checks : (int * int * access) list;
+}
+
+(* ---------- happens-before shadow cells (FastTrack-style) ---------- *)
+
+type cell = {
+  mutable c_wt : int;             (* last writer thread, -1 = none *)
+  mutable c_wc : int;             (* last writer clock *)
+  mutable c_rd : (int * int) list;(* concurrent-frontier reads: thread, clock *)
+}
+
+(* Which disjoint metadata a scheme operation implies. SGXBounds keeps
+   the lower bound in a footer written once at allocation and read by
+   checks; MPX spills/fills bounds through bounds-table entries keyed by
+   the *pointer slot* address, with bndstx/bndldx not atomic with the
+   data access (§4.1). Schemes whose metadata never races by
+   construction (or that have none) are not modeled. *)
+type meta_model = No_meta | Mpx_bt | Sgxbounds_footer
+
+let model_of_name name =
+  if name = "mpx" then Mpx_bt
+  else if String.length name >= 9 && String.sub name 0 9 = "sgxbounds" then
+    Sgxbounds_footer
+  else No_meta
+
+type t = {
+  inner : Scheme.t;
+  tel : Telemetry.t;
+  track_races : bool;
+  max_findings : int;
+  model : meta_model;
+  nthreads : int;
+  (* vector clocks, one per hardware thread; vc.(i).(j) = latest segment
+     of thread j that thread i has synchronized with *)
+  vc : int array array;
+  mutable region_n : int;          (* threads of the open region; 0 = sequential *)
+  mutable objects : obj Imap.t;    (* keyed by o_lo; live objects only *)
+  mutable frames : (int * int list ref) list;  (* stack frames: token, object bases *)
+  mutable pending : (int * int * access) list; (* libc_check awaiting its touch *)
+  mutable findings_rev : finding list;
+  mutable n_stored : int;
+  mutable total : int;             (* every occurrence, deduplicated or not *)
+  counts : (kind, int) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t;
+  data_shadow : (int, cell) Hashtbl.t;  (* keyed by 4-byte granule *)
+  meta_shadow : (int, cell) Hashtbl.t;
+  mutable ops : int;
+}
+
+(* ---------- vector-clock fork/join ---------- *)
+
+let join t =
+  if t.region_n > 0 then begin
+    let v0 = t.vc.(0) in
+    for i = 1 to t.region_n - 1 do
+      let vi = t.vc.(i) in
+      for j = 0 to t.nthreads - 1 do
+        if vi.(j) > v0.(j) then v0.(j) <- vi.(j)
+      done
+    done;
+    v0.(0) <- v0.(0) + 1;
+    t.region_n <- 0
+  end
+
+let fork t n =
+  join t;  (* back-to-back regions: close the previous one first *)
+  for i = 1 to n - 1 do
+    Array.blit t.vc.(0) 0 t.vc.(i) 0 t.nthreads
+  done;
+  for i = 0 to n - 1 do
+    t.vc.(i).(i) <- t.vc.(i).(i) + 1
+  done;
+  t.region_n <- n
+
+(* Lazily close a region once sequential code resumes: Mt only signals
+   region starts, but no audited operation can happen between a region's
+   end and the next operation that observes the scheduler inactive. *)
+let enter t =
+  t.ops <- t.ops + 1;
+  if t.region_n > 0 && not (Eff.scheduler_active ()) then join t
+
+let cur_thread t =
+  if Eff.scheduler_active () then Memsys.current_thread t.inner.Scheme.ms else 0
+
+(* ---------- findings ---------- *)
+
+let report t kind ~op ~addr ~width ~detail ~dedup =
+  t.total <- t.total + 1;
+  Hashtbl.replace t.counts kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts kind));
+  if not (Hashtbl.mem t.seen dedup) then begin
+    Hashtbl.replace t.seen dedup ();
+    let f =
+      { f_kind = kind; f_op = op; f_addr = addr; f_width = width;
+        f_thread = cur_thread t; f_detail = detail }
+    in
+    if t.n_stored < t.max_findings then begin
+      t.findings_rev <- f :: t.findings_rev;
+      t.n_stored <- t.n_stored + 1
+    end;
+    Telemetry.event t.tel ~cat:"audit" (kind_name kind)
+      ~args:
+        [ ("op", op); ("addr", Printf.sprintf "0x%x" addr);
+          ("width", string_of_int width); ("detail", detail) ]
+  end
+
+let findings t = List.rev t.findings_rev
+let total t = t.total
+let ops t = t.ops
+let count t kind = Option.value ~default:0 (Hashtbl.find_opt t.counts kind)
+let counts t = List.filter_map (fun k ->
+    match count t k with 0 -> None | c -> Some (k, c)) all_kinds
+
+(* ---------- object table ---------- *)
+
+let lookup t addr =
+  match Imap.find_last_opt (fun k -> k <= addr) t.objects with
+  | Some (_, o) when addr < o.o_hi -> Some o
+  | _ -> None
+
+let kill_at t lo = t.objects <- Imap.remove lo t.objects
+
+let meta_write_footer t o =
+  (* the LB footer sits at the object's upper bound *)
+  if t.model = Sgxbounds_footer then `Footer (o.o_hi, 4) else `None
+
+(* ---------- race shadow ---------- *)
+
+let cell_of tbl g =
+  match Hashtbl.find_opt tbl g with
+  | Some c -> c
+  | None ->
+    let c = { c_wt = -1; c_wc = 0; c_rd = [] } in
+    Hashtbl.replace tbl g c;
+    c
+
+(* epoch (et, ec) happens-before the current segment of thread [u]? *)
+let hb t ~et ~ec ~u = ec <= t.vc.(u).(et)
+
+let note_access t ~meta ~op ~addr ~width ~access =
+  if t.track_races && width > 0 then begin
+    let u = cur_thread t in
+    let clk = t.vc.(u).(u) in
+    let tbl = if meta then t.meta_shadow else t.data_shadow in
+    let kind = if meta then Meta_race else Data_race in
+    let what = if meta then "metadata" else "data" in
+    let g0 = addr asr 2 and g1 = (addr + width - 1) asr 2 in
+    (* one report per access, not per granule it spans *)
+    let reported = ref false in
+    let flag conflict other g =
+      if not !reported then begin
+        reported := true;
+        report t kind ~op ~addr ~width
+          ~detail:
+            (Printf.sprintf "unsynchronized %s %s conflict with thread %d" what
+               conflict other)
+          ~dedup:(Printf.sprintf "race:%b:0x%x" meta g)
+      end
+    in
+    for g = g0 to g1 do
+      let c = cell_of tbl g in
+      (match access with
+       | Write ->
+         if c.c_wt >= 0 && c.c_wt <> u && not (hb t ~et:c.c_wt ~ec:c.c_wc ~u)
+         then flag "write-write" c.c_wt g;
+         List.iter
+           (fun (rt, rc) ->
+              if rt <> u && not (hb t ~et:rt ~ec:rc ~u) then
+                flag "read-write" rt g)
+           c.c_rd;
+         c.c_wt <- u;
+         c.c_wc <- clk;
+         c.c_rd <- []
+       | Read ->
+         if c.c_wt >= 0 && c.c_wt <> u && not (hb t ~et:c.c_wt ~ec:c.c_wc ~u)
+         then flag "write-read" c.c_wt g;
+         c.c_rd <- (u, clk) :: List.filter (fun (rt, _) -> rt <> u) c.c_rd)
+    done
+  end
+
+(* Allocation is a synchronization point: the allocator hands the block
+   to exactly one thread, so epochs recorded by a previous owner of a
+   recycled address must not be read as conflicts. Drop stale shadow
+   cells over the object's footprint (plus the footer granule). *)
+let clear_shadow t addr size =
+  if t.track_races then begin
+    let g0 = addr asr 2 and g1 = (addr + size + 4 - 1) asr 2 in
+    for g = g0 to g1 do
+      Hashtbl.remove t.data_shadow g;
+      Hashtbl.remove t.meta_shadow g
+    done
+  end
+
+(* ---------- the contract checkers ---------- *)
+
+let on_alloc t addr size =
+  if addr <> 0 && size > 0 then begin
+    let o = { o_lo = addr; o_hi = addr + size; o_checks = [] } in
+    t.objects <- Imap.add addr o t.objects;
+    clear_shadow t addr size;
+    (match meta_write_footer t o with
+     | `Footer (a, w) -> note_access t ~meta:true ~op:"alloc" ~addr:a ~width:w ~access:Write
+     | `None -> ())
+  end
+
+(* A checked access under SGXBounds loads the LB footer of its object. *)
+let meta_read_of_check t addr =
+  if t.model = Sgxbounds_footer then
+    match lookup t addr with
+    | Some o -> note_access t ~meta:true ~op:"check" ~addr:o.o_hi ~width:4 ~access:Read
+    | None -> ()
+
+let covered o a w access =
+  List.exists
+    (fun (clo, chi, cacc) ->
+       clo <= a && a + w <= chi
+       && (match cacc with Write -> true | Read -> access = Read))
+    o.o_checks
+
+let audit_unchecked t ~op ~addr ~width ~access =
+  enter t;
+  (match lookup t addr with
+   | None ->
+     report t Unchecked_uncovered ~op ~addr ~width
+       ~detail:"no live object contains the access (stale or freed referent)"
+       ~dedup:(Printf.sprintf "u:%s:none:0x%x" op (addr asr 12))
+   | Some o ->
+     if not (covered o addr width access) then
+       report t Unchecked_uncovered ~op ~addr ~width
+         ~detail:
+           (Printf.sprintf
+              "access [0x%x,0x%x) not covered by any live %s check_range on object [0x%x,0x%x)"
+              addr (addr + width)
+              (match access with Read -> "read" | Write -> "write")
+              o.o_lo o.o_hi)
+         ~dedup:(Printf.sprintf "u:%s:0x%x" op o.o_lo));
+  note_access t ~meta:false ~op ~addr ~width ~access
+
+let audit_safe t ~op ~addr ~width ~access =
+  enter t;
+  (match lookup t addr with
+   | None ->
+     report t Safe_oob ~op ~addr ~width
+       ~detail:"no live object contains the \"provably safe\" access"
+       ~dedup:(Printf.sprintf "s:%s:none:0x%x" op (addr asr 12))
+   | Some o ->
+     if addr + width > o.o_hi then
+       report t Safe_oob ~op ~addr ~width
+         ~detail:
+           (Printf.sprintf
+              "access [0x%x,0x%x) straddles the end of object [0x%x,0x%x)"
+              addr (addr + width) o.o_lo o.o_hi)
+         ~dedup:(Printf.sprintf "s:%s:0x%x" op o.o_lo));
+  note_access t ~meta:false ~op ~addr ~width ~access
+
+let audit_checked t ~op ~addr ~width ~access =
+  enter t;
+  meta_read_of_check t addr;
+  note_access t ~meta:false ~op ~addr ~width ~access
+
+let record_check o lo hi access =
+  let e = (lo, hi, access) in
+  if not (List.mem e o.o_checks) then o.o_checks <- e :: o.o_checks
+
+let audit_check_range t ~addr ~len ~access =
+  enter t;
+  if len > 0 then begin
+    meta_read_of_check t addr;
+    match lookup t addr with
+    | None ->
+      report t Check_oob ~op:"check_range" ~addr ~width:len
+        ~detail:"check_range on no live object"
+        ~dedup:(Printf.sprintf "c:none:0x%x" (addr asr 12))
+    | Some o ->
+      if addr + len > o.o_hi then
+        report t Check_oob ~op:"check_range" ~addr ~width:len
+          ~detail:
+            (Printf.sprintf
+               "claimed extent [0x%x,0x%x) exceeds object [0x%x,0x%x)" addr
+               (addr + len) o.o_lo o.o_hi)
+          ~dedup:(Printf.sprintf "c:0x%x" o.o_lo)
+      else record_check o addr (addr + len) access
+  end
+
+let pending_cap = 16
+
+let audit_libc_check t ~addr ~len ~access =
+  enter t;
+  if len > 0 then begin
+    meta_read_of_check t addr;
+    (match lookup t addr with
+     | None ->
+       report t Check_oob ~op:"libc_check" ~addr ~width:len
+         ~detail:"libc_check on no live object"
+         ~dedup:(Printf.sprintf "lc:none:0x%x" (addr asr 12))
+     | Some o ->
+       if addr + len > o.o_hi then
+         report t Check_oob ~op:"libc_check" ~addr ~width:len
+           ~detail:
+             (Printf.sprintf
+                "wrapper-checked extent [0x%x,0x%x) exceeds object [0x%x,0x%x)"
+                addr (addr + len) o.o_lo o.o_hi)
+           ~dedup:(Printf.sprintf "lc:0x%x" o.o_lo));
+    let p = (addr, len, access) :: t.pending in
+    t.pending <- (if List.length p > pending_cap then List.filteri (fun i _ -> i < pending_cap) p else p)
+  end
+
+let audit_libc_touch t ~fn ~addr ~len ~access =
+  enter t;
+  if len > 0 then begin
+    let rec take acc = function
+      | [] -> (None, List.rev acc)
+      | (a, l, ac) :: rest when a = addr && ac = access ->
+        (Some l, List.rev_append acc rest)
+      | e :: rest -> take (e :: acc) rest
+    in
+    let matched, rest = take [] t.pending in
+    t.pending <- rest;
+    (match matched with
+     | None ->
+       report t Libc_unchecked ~op:fn ~addr ~width:len
+         ~detail:
+           (Printf.sprintf "raw libc %s of %d byte(s) with no matching libc_check"
+              (match access with Read -> "read" | Write -> "write")
+              len)
+         ~dedup:(Printf.sprintf "lu:%s:0x%x" fn (addr asr 12))
+     | Some clen when clen <> len ->
+       report t Libc_mismatch ~op:fn ~addr ~width:len
+         ~detail:
+           (Printf.sprintf
+              "libc_check declared %d byte(s) but the body touches %d" clen len)
+         ~dedup:(Printf.sprintf "lm:%s" fn)
+     | Some _ -> ());
+    note_access t ~meta:false ~op:fn ~addr ~width:len ~access
+  end
+
+(* ---------- the wrapper ---------- *)
+
+let unhook () = Sb_mt.Mt.set_region_tracer None
+
+(** [wrap inner] returns the audited scheme and the auditor handle.
+    Installs this domain's {!Sb_mt.Mt.set_region_tracer}; call
+    {!unhook} (or wrap the next scheme) when done. [track_races]
+    enables the happens-before shadow (leave it off for single-threaded
+    sweeps: without parallel regions it can find nothing and costs
+    host time). *)
+let wrap ?(track_races = true) ?(max_findings = 200) (inner : Scheme.t) :
+  Scheme.t * t =
+  let nthreads = (Memsys.cfg inner.Scheme.ms).Config.max_threads in
+  let t =
+    {
+      inner;
+      tel = Memsys.telemetry inner.Scheme.ms;
+      track_races;
+      max_findings;
+      model = model_of_name inner.Scheme.name;
+      nthreads;
+      vc = Array.init nthreads (fun _ -> Array.make nthreads 0);
+      region_n = 0;
+      objects = Imap.empty;
+      frames = [];
+      pending = [];
+      findings_rev = [];
+      n_stored = 0;
+      total = 0;
+      counts = Hashtbl.create 8;
+      seen = Hashtbl.create 64;
+      data_shadow = Hashtbl.create 1024;
+      meta_shadow = Hashtbl.create 64;
+      ops = 0;
+    }
+  in
+  Sb_mt.Mt.set_region_tracer (Some (fun n -> fork t n));
+  let addr_of = inner.Scheme.addr_of in
+  (* MPX spills/fills bounds through a bounds-table entry keyed by the
+     pointer slot — a disjoint metadata access that is NOT atomic with
+     the data access (§4.1). *)
+  let mpx_meta ~op slot access =
+    if t.model = Mpx_bt then
+      note_access t ~meta:true ~op ~addr:slot ~width:8 ~access
+  in
+  let s =
+    {
+      inner with
+      Scheme.malloc =
+        (fun size ->
+           enter t;
+           let p = inner.Scheme.malloc size in
+           on_alloc t (addr_of p) size;
+           p);
+      calloc =
+        (fun n size ->
+           enter t;
+           let p = inner.Scheme.calloc n size in
+           on_alloc t (addr_of p) (n * size);
+           p);
+      realloc =
+        (fun p size ->
+           enter t;
+           let old = addr_of p in
+           let q = inner.Scheme.realloc p size in
+           kill_at t old;
+           on_alloc t (addr_of q) size;
+           q);
+      free =
+        (fun p ->
+           enter t;
+           let a = addr_of p in
+           inner.Scheme.free p;
+           kill_at t a);
+      global =
+        (fun size ->
+           enter t;
+           let p = inner.Scheme.global size in
+           on_alloc t (addr_of p) size;
+           p);
+      stack_push =
+        (fun () ->
+           enter t;
+           let tok = inner.Scheme.stack_push () in
+           t.frames <- (tok, ref []) :: t.frames;
+           tok);
+      stack_alloc =
+        (fun size ->
+           enter t;
+           let p = inner.Scheme.stack_alloc size in
+           let a = addr_of p in
+           on_alloc t a size;
+           (match t.frames with
+            | (_, objs) :: _ -> objs := a :: !objs
+            | [] -> ());
+           p);
+      stack_pop =
+        (fun tok ->
+           enter t;
+           inner.Scheme.stack_pop tok;
+           let rec pop = function
+             | (tk, objs) :: rest ->
+               List.iter (kill_at t) !objs;
+               if tk = tok then rest else pop rest
+             | [] -> []
+           in
+           t.frames <- pop t.frames);
+      load =
+        (fun p width ->
+           audit_checked t ~op:"load" ~addr:(addr_of p) ~width ~access:Read;
+           inner.Scheme.load p width);
+      store =
+        (fun p width v ->
+           audit_checked t ~op:"store" ~addr:(addr_of p) ~width ~access:Write;
+           inner.Scheme.store p width v);
+      safe_load =
+        (fun p width ->
+           audit_safe t ~op:"safe_load" ~addr:(addr_of p) ~width ~access:Read;
+           inner.Scheme.safe_load p width);
+      safe_store =
+        (fun p width v ->
+           audit_safe t ~op:"safe_store" ~addr:(addr_of p) ~width ~access:Write;
+           inner.Scheme.safe_store p width v);
+      check_range =
+        (fun p len access ->
+           audit_check_range t ~addr:(addr_of p) ~len ~access;
+           inner.Scheme.check_range p len access);
+      load_unchecked =
+        (fun p width ->
+           audit_unchecked t ~op:"load_unchecked" ~addr:(addr_of p) ~width
+             ~access:Read;
+           inner.Scheme.load_unchecked p width);
+      store_unchecked =
+        (fun p width v ->
+           audit_unchecked t ~op:"store_unchecked" ~addr:(addr_of p) ~width
+             ~access:Write;
+           inner.Scheme.store_unchecked p width v);
+      load_ptr =
+        (fun p ->
+           let a = addr_of p in
+           audit_checked t ~op:"load_ptr" ~addr:a ~width:8 ~access:Read;
+           mpx_meta ~op:"load_ptr" a Read;
+           inner.Scheme.load_ptr p);
+      store_ptr =
+        (fun p q ->
+           let a = addr_of p in
+           audit_checked t ~op:"store_ptr" ~addr:a ~width:8 ~access:Write;
+           mpx_meta ~op:"store_ptr" a Write;
+           inner.Scheme.store_ptr p q);
+      load_ptr_unchecked =
+        (fun p ->
+           let a = addr_of p in
+           audit_unchecked t ~op:"load_ptr_unchecked" ~addr:a ~width:8
+             ~access:Read;
+           mpx_meta ~op:"load_ptr_unchecked" a Read;
+           inner.Scheme.load_ptr_unchecked p);
+      store_ptr_unchecked =
+        (fun p q ->
+           let a = addr_of p in
+           audit_unchecked t ~op:"store_ptr_unchecked" ~addr:a ~width:8
+             ~access:Write;
+           mpx_meta ~op:"store_ptr_unchecked" a Write;
+           inner.Scheme.store_ptr_unchecked p q);
+      libc_check =
+        (fun p len access ->
+           audit_libc_check t ~addr:(addr_of p) ~len ~access;
+           inner.Scheme.libc_check p len access);
+      libc_touch =
+        (fun fn p len access ->
+           audit_libc_touch t ~fn ~addr:(addr_of p) ~len ~access;
+           inner.Scheme.libc_touch fn p len access);
+    }
+  in
+  (s, t)

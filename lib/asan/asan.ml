@@ -304,4 +304,5 @@ let make ?(opts = default_opts) ms : Scheme.t =
          check p.v 8 Write;
          Memsys.store ms ~addr:p.v ~width:8 q.v);
     libc_check;
+    libc_touch = Scheme.no_touch;
   }

@@ -173,4 +173,5 @@ let make ?(region_bytes = 8 * 1024 * 1024) ms : Scheme.t =
     store_ptr_unchecked =
       (fun p q -> Memsys.store ms ~addr:p.v ~width:8 q.v);
     libc_check = (fun p len access -> if len > 0 then check p len access);
+    libc_touch = Scheme.no_touch;
   }

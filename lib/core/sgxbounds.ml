@@ -313,6 +313,7 @@ let make ?(opts = all_opts) ?(mode = Fail_stop) ?(plugins = []) ms : Scheme.t =
          let a, oob = check p 8 Write in
          if oob then redirect_store a 8 q.v else Memsys.store ms ~addr:a ~width:8 q.v);
     libc_check;
+    libc_touch = Scheme.no_touch;
   }
 
 (** Intra-object bounds narrowing (§8, "catching intra-object

@@ -89,14 +89,18 @@ let maker name =
 (** Run one (workload, scheme, environment) cell on a fresh machine.
     [tel] (default: disabled) collects spans, EPC events and access-cost
     histograms for the run; the workload body executes inside a
-    ["run:<workload>/<scheme>"] phase span. *)
-let run_one ?tel ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
+    ["run:<workload>/<scheme>"] phase span. [wrap] interposes on the
+    freshly built scheme before the workload sees it — the hook the
+    instrumentation auditor ({!Sb_analysis}) uses; observation only, it
+    must not change simulated behaviour. *)
+let run_one ?tel ?wrap ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
     (w : Sb_workloads.Registry.spec) =
   let n = Option.value n ~default:w.Sb_workloads.Registry.default_n in
   let cfg = Config.default ~env () in
   let ms = Memsys.create ?tel cfg in
   let tel = Memsys.telemetry ms in
   let s = Telemetry.with_span tel ("setup:" ^ scheme) (fun () -> maker scheme ms) in
+  let s = match wrap with None -> s | Some f -> f s in
   let ctx = Sb_workloads.Wctx.make ~threads s in
   let workload = w.Sb_workloads.Registry.name in
   let collect () =

@@ -30,6 +30,8 @@ let raw_strlen s p =
     length is the result, not an input. *)
 let strlen s p =
   s.Scheme.libc_check p 1 Read;
+  s.Scheme.libc_touch "strlen" p 1 Read;
+  (* the terminator scan itself is trusted, like the real thing *)
   raw_strlen s p
 
 (** memcpy(3): wrapper checks both whole buffers, then one raw copy. *)
@@ -37,6 +39,8 @@ let memcpy s ~dst ~src ~len =
   if len > 0 then begin
     s.Scheme.libc_check src len Read;
     s.Scheme.libc_check dst len Write;
+    s.Scheme.libc_touch "memcpy" src len Read;
+    s.Scheme.libc_touch "memcpy" dst len Write;
     Memsys.blit (ms s) ~src:(s.Scheme.addr_of src) ~dst:(s.Scheme.addr_of dst) ~len
   end
 
@@ -47,6 +51,7 @@ let memmove = memcpy
 let memset s ~dst ~byte ~len =
   if len > 0 then begin
     s.Scheme.libc_check dst len Write;
+    s.Scheme.libc_touch "memset" dst len Write;
     Memsys.fill (ms s) ~addr:(s.Scheme.addr_of dst) ~len ~byte
   end
 
@@ -57,6 +62,8 @@ let strcpy s ~dst ~src =
   let n = raw_strlen s src in
   s.Scheme.libc_check src (n + 1) Read;
   s.Scheme.libc_check dst (n + 1) Write;
+  s.Scheme.libc_touch "strcpy" src (n + 1) Read;
+  s.Scheme.libc_touch "strcpy" dst (n + 1) Write;
   Memsys.blit (ms s) ~src:(s.Scheme.addr_of src) ~dst:(s.Scheme.addr_of dst) ~len:(n + 1);
   n
 
@@ -65,6 +72,8 @@ let strncpy s ~dst ~src ~len =
   let n = min len (raw_strlen s src) in
   s.Scheme.libc_check src n Read;
   s.Scheme.libc_check dst len Write;
+  s.Scheme.libc_touch "strncpy" src n Read;
+  s.Scheme.libc_touch "strncpy" dst len Write;
   Memsys.blit (ms s) ~src:(s.Scheme.addr_of src) ~dst:(s.Scheme.addr_of dst) ~len:n;
   if n < len then Memsys.fill (ms s) ~addr:(s.Scheme.addr_of dst + n) ~len:(len - n) ~byte:0
 
@@ -73,6 +82,8 @@ let strncpy s ~dst ~src ~len =
 let memcmp s a b ~len =
   s.Scheme.libc_check a len Read;
   s.Scheme.libc_check b len Read;
+  s.Scheme.libc_touch "memcmp" a len Read;
+  s.Scheme.libc_touch "memcmp" b len Read;
   let m = ms s in
   let aa = s.Scheme.addr_of a and ab = s.Scheme.addr_of b in
   let rec go i =
@@ -88,6 +99,8 @@ let memcmp s a b ~len =
 let strcmp s a b =
   s.Scheme.libc_check a 1 Read;
   s.Scheme.libc_check b 1 Read;
+  s.Scheme.libc_touch "strcmp" a 1 Read;
+  s.Scheme.libc_touch "strcmp" b 1 Read;
   let m = ms s in
   let aa = s.Scheme.addr_of a and ab = s.Scheme.addr_of b in
   let rec go i =
@@ -102,6 +115,7 @@ let strcmp s a b =
 let strcpy_in s ~dst str =
   let n = String.length str in
   s.Scheme.libc_check dst (n + 1) Write;
+  s.Scheme.libc_touch "strcpy_in" dst (n + 1) Write;
   let m = ms s in
   let a = s.Scheme.addr_of dst in
   Memsys.touch_range m ~addr:a ~len:(n + 1);
@@ -123,6 +137,8 @@ let strcat s ~dst ~src =
   let slen = raw_strlen s src in
   s.Scheme.libc_check src (slen + 1) Read;
   s.Scheme.libc_check dst (dlen + slen + 1) Write;
+  s.Scheme.libc_touch "strcat" src (slen + 1) Read;
+  s.Scheme.libc_touch "strcat" dst (dlen + slen + 1) Write;
   Memsys.blit (ms s)
     ~src:(s.Scheme.addr_of src)
     ~dst:(s.Scheme.addr_of dst + dlen)
@@ -132,6 +148,7 @@ let strcat s ~dst ~src =
 (** memchr(3): find [byte] in the first [len] bytes; returns its offset. *)
 let memchr s p ~byte ~len =
   s.Scheme.libc_check p len Read;
+  s.Scheme.libc_touch "memchr" p len Read;
   let m = ms s in
   let a = s.Scheme.addr_of p in
   let rec go i =
@@ -154,6 +171,7 @@ let strchr s p ~byte =
     with scheme pointers. Elements are [width] bytes. *)
 let qsort s ~base ~nmemb ~width ~cmp =
   s.Scheme.libc_check base (nmemb * width) Write;
+  s.Scheme.libc_touch "qsort" base (nmemb * width) Write;
   let m = ms s in
   let a0 = s.Scheme.addr_of base in
   (* the callback proxy: wrap raw addresses back into scheme pointers *)
@@ -210,6 +228,7 @@ let snprintf s ~dst ~max ~fmt ~args =
              (* extract the pointer, check it, read the string *)
              let len = raw_strlen s p in
              s.Scheme.libc_check p (len + 1) Read;
+             s.Scheme.libc_touch "snprintf" p (len + 1) Read;
              Buffer.add_string out (string_out s p)
            | Int _ -> invalid_arg "Simlibc.snprintf: %s expects Str")
         | '%' -> Buffer.add_char out '%'

@@ -206,4 +206,5 @@ let make ms : Scheme.t =
          Memsys.store ms ~addr:p.v ~width:8 q.v;
          bndstx st ~loc:p.v ~value:q.v ~bnd:q.bnd);
     libc_check = (fun _ _ _ -> ());
+    libc_touch = Scheme.no_touch;
   }

@@ -12,6 +12,16 @@ type state =
 
 let yield () = if Eff.scheduler_active () then Effect.perform Eff.Yield
 
+(* Observer of parallel-region starts, for happens-before tracking by
+   the instrumentation auditor (Sb_analysis). Domain-local for the same
+   reason as [Eff.scheduler_key]: each domain schedules its own
+   cooperative threads, so a tracer installed by one domain must not
+   fire for regions of another. *)
+let region_tracer_key : (int -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_region_tracer f = Domain.DLS.set region_tracer_key f
+
 let run_some ms fns n =
   let max_threads = (Memsys.cfg ms).Config.max_threads in
   if n > max_threads then
@@ -63,6 +73,9 @@ let run_some ms fns n =
        | Finished -> assert false);
       loop ()
   in
+  (match Domain.DLS.get region_tracer_key with
+   | Some tracer -> tracer n
+   | None -> ());
   Eff.set_scheduler_active true;
   Fun.protect
     ~finally:(fun () ->

@@ -27,3 +27,9 @@ val parallel_for : t -> threads:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Explicit yield point (for race demonstrations and servers). No-op
     outside [run]. *)
 val yield : unit -> unit
+
+(** Install (or clear) a domain-local observer called with the thread
+    count at the start of every parallel region on this domain. Used by
+    the instrumentation auditor ({!Sb_analysis}) to fork its
+    happens-before vector clocks; one observer per domain. *)
+val set_region_tracer : (int -> unit) option -> unit

@@ -60,4 +60,5 @@ let make ms : Scheme.t =
     load_ptr_unchecked = (fun p -> mk (Memsys.load ms ~addr:p.v ~width:8));
     store_ptr_unchecked = (fun p q -> Memsys.store ms ~addr:p.v ~width:8 q.v);
     libc_check = (fun _ _ _ -> ());
+    libc_touch = Scheme.no_touch;
   }

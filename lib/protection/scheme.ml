@@ -20,7 +20,13 @@
     - [load_ptr]/[store_ptr]: pointer-typed memory traffic; this is
       where per-pointer metadata schemes (MPX) spill and fill bounds.
     - [libc_check]: what the scheme's libc wrapper does to a buffer
-      argument before calling the real (uninstrumented) libc. *)
+      argument before calling the real (uninstrumented) libc.
+    - [libc_touch]: {!Sb_libc.Simlibc} declares the bytes a raw libc
+      body actually touches, right after the corresponding
+      [libc_check]. Every real scheme ignores it (the hardware would
+      not see the declaration either); the auditing meta-scheme in
+      [Sb_analysis] overrides it to verify that wrapper checks and
+      libc traffic agree. *)
 
 open Types
 
@@ -61,7 +67,14 @@ type t = {
   store_ptr_unchecked : ptr -> ptr -> unit;
   (* libc wrapper behaviour *)
   libc_check : ptr -> int -> access -> unit;
+  (* Simlibc's declaration of the bytes its raw body touches: function
+     name, buffer, byte count, direction. No-op in every real scheme. *)
+  libc_touch : string -> ptr -> int -> access -> unit;
 }
+
+(** The default [libc_touch]: declarations vanish, like they would on
+    real hardware. *)
+let no_touch : string -> ptr -> int -> access -> unit = fun _ _ _ _ -> ()
 
 (** Raw untagged address of [p] under scheme [s]. *)
 let addr s p = s.addr_of p

@@ -102,6 +102,12 @@ let fluidanimate ctx ~n =
         (ctx.s.Scheme.load_ptr (idx ctx cells nb 8))
     done
   done;
+  (* Each timestep is PARSEC's barrier-separated double buffer: the
+     compute phase reads the neighbour halo (field 0) and stages its
+     result in the cell's scratch field (offset 4), and only after the
+     join does the publish phase copy scratch into field 0 — each thread
+     touching only its own cells. Writing field 0 directly from the
+     compute phase would race with neighbours still reading it. *)
   for _step = 1 to 2 do
     parallel ctx n (fun _t lo hi ->
         ctx.s.Scheme.check_range (idx ctx cells lo 8) ((hi - lo) * 8) Read;
@@ -113,7 +119,15 @@ let fluidanimate ctx ~n =
             acc := !acc + ctx.s.Scheme.safe_load nb 4;
             work ctx 8
           done;
-          ctx.s.Scheme.safe_store c 4 (!acc / 6)
+          ctx.s.Scheme.safe_store (ctx.s.Scheme.offset c 4) 4 (!acc / 6)
+        done);
+    parallel ctx n (fun _t lo hi ->
+        ctx.s.Scheme.check_range (idx ctx cells lo 8) ((hi - lo) * 8) Read;
+        for i = lo to hi - 1 do
+          let c = ctx.s.Scheme.load_ptr_unchecked (idx ctx cells i 8) in
+          ctx.s.Scheme.safe_store c 4
+            (ctx.s.Scheme.safe_load (ctx.s.Scheme.offset c 4) 4);
+          work ctx 2
         done)
   done
 

@@ -64,12 +64,13 @@ let lookup_or_store ctx st data ~off ~len ~digest =
     st.stored_chunks <- st.stored_chunks + 1;
     st.stored_bytes <- st.stored_bytes + len
 
-(** Chunk the [len]-byte stream at [data] (one scan: the rolling
-    fingerprint decides boundaries while the chunk digest accumulates),
-    deduplicating into [st]. Returns boundary offsets (chunk ends). *)
-let chunk_stream ctx st data ~len =
+(** Scan the [len]-byte stream at [data] (one pass: the rolling
+    fingerprint decides boundaries while the chunk digest accumulates).
+    Pure — touches only the stream, so parallel scans of distinct
+    streams cannot conflict. Returns the chunk descriptors in order. *)
+let scan_stream ctx data ~len =
   ctx.s.Scheme.check_range data len Read;
-  let boundaries = ref [] in
+  let chunks = ref [] in
   let start = ref 0 in
   let fp = ref 0 and dg = ref 0xcbf29ce484222 in
   let i = ref 0 in
@@ -83,32 +84,65 @@ let chunk_stream ctx st data ~len =
       (size >= min_chunk && !fp land boundary_mask = boundary_mask) || size >= max_chunk
     in
     if at_boundary then begin
-      lookup_or_store ctx st data ~off:!start ~len:size ~digest:!dg;
-      boundaries := (!i + 4) :: !boundaries;
+      chunks := (!start, size, !dg) :: !chunks;
       start := !i + 4;
       fp := 0;
       dg := 0xcbf29ce484222
     end;
     i := !i + 4
   done;
-  if !start < len then
-    lookup_or_store ctx st data ~off:!start ~len:(len - !start) ~digest:!dg;
-  List.rev !boundaries
+  if !start < len then chunks := (!start, len - !start, !dg) :: !chunks;
+  List.rev !chunks
+
+(** Chunk and deduplicate the stream into [st] in one sequential call.
+    Returns boundary offsets (chunk ends). *)
+let chunk_stream ctx st data ~len =
+  let chunks = scan_stream ctx data ~len in
+  List.iter
+    (fun (off, clen, digest) -> lookup_or_store ctx st data ~off ~len:clen ~digest)
+    chunks;
+  List.filter_map
+    (fun (off, clen, _) -> if off + clen < len then Some (off + clen) else None)
+    chunks
 
 (** The kernel: an [n]-scaled stream where 3/4 of the content repeats
-    earlier blocks — dedup's natural workload. The store never frees. *)
+    earlier blocks — dedup's natural workload. The store never frees.
+
+    The original's pipeline (chunk stages feeding a single store stage
+    through queues) maps onto fork/join as rounds: each round the
+    threads scan one stream each in parallel — touching nothing shared —
+    and after the join the chunk descriptors are committed to the store
+    in pass order, so the shared bucket chains are only ever mutated
+    sequentially. *)
 let run ctx ~n =
   let st = create_store ctx ~nbuckets:8192 in
   let stream_len = 32768 in
   let passes = max 1 (n / 80) in
-  parallel ctx passes (fun _t lo hi ->
-      let stream = array ctx stream_len 1 in
-      for p = lo to hi - 1 do
-        (* half the passes carry fresh content; the rest repeat one of a
-           small pool of earlier blocks *)
-        let seed = if p land 1 = 0 then 1000 + p else p land 15 in
-        write_seq ctx stream ~lo:0 ~hi:(stream_len / 4) ~width:4 (fun i ->
-            ((seed * 131) + (i * 7) + (i lsr 5)) land 0xFFFFFF);
-        ignore (chunk_stream ctx st stream ~len:stream_len)
-      done;
-      ctx.s.Scheme.free stream)
+  let nthreads = max 1 ctx.threads in
+  let streams = Array.init nthreads (fun _ -> array ctx stream_len 1) in
+  let chunks = Array.make nthreads [] in
+  let p = ref 0 in
+  while !p < passes do
+    let batch = min nthreads (passes - !p) in
+    let base = !p in
+    parallel ctx batch (fun _t lo hi ->
+        for b = lo to hi - 1 do
+          (* half the passes carry fresh content; the rest repeat one of
+             a small pool of earlier blocks *)
+          let pass = base + b in
+          let seed = if pass land 1 = 0 then 1000 + pass else pass land 15 in
+          let stream = streams.(b) in
+          write_seq ctx stream ~lo:0 ~hi:(stream_len / 4) ~width:4 (fun i ->
+              ((seed * 131) + (i * 7) + (i lsr 5)) land 0xFFFFFF);
+          chunks.(b) <- scan_stream ctx stream ~len:stream_len
+        done);
+    for b = 0 to batch - 1 do
+      List.iter
+        (fun (off, clen, digest) ->
+           lookup_or_store ctx st streams.(b) ~off ~len:clen ~digest)
+        chunks.(b);
+      chunks.(b) <- []
+    done;
+    p := !p + batch
+  done;
+  Array.iter (fun stream -> ctx.s.Scheme.free stream) streams

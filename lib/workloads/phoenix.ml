@@ -140,34 +140,67 @@ let string_match ctx ~n =
       done)
 
 (** wordcount: hash table of counted words with chained, individually
-    allocated nodes — pointer- and allocation-intensive. *)
+    allocated nodes — pointer- and allocation-intensive. Phoenix's
+    map-reduce shape: each map thread counts into a private table, then
+    the reduce phase (after the join) folds them into the final one, so
+    no chain is ever mutated by two threads. *)
 let wordcount ctx ~n =
   let nbuckets = 4096 in
-  let buckets = ctx.s.Scheme.calloc nbuckets 8 in
   let node_bytes = 28 in (* [0]=next ptr, [8]=count, [16]=word id *)
   let distinct = max 64 (n / 4) in
-  parallel ctx n (fun _t lo hi ->
+  let nthreads = max 1 ctx.threads in
+  let hash word = (word * 2654435761) land (nbuckets - 1) in
+  (* insert [word] (+delta) into the chain of [buckets], walking through
+     the scheme exactly as the original tight loop did *)
+  let insert buckets word delta =
+    let head = idx ctx buckets (hash word) 8 in
+    let rec walk node depth =
+      if is_null ctx node || depth > 16 then None
+      else begin
+        work ctx 2;
+        if ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 16) 4 = word then Some node
+        else walk (ctx.s.Scheme.load_ptr node) (depth + 1)
+      end
+    in
+    match walk (ctx.s.Scheme.load_ptr head) 0 with
+    | Some node ->
+      let cnt = ctx.s.Scheme.offset node 8 in
+      ctx.s.Scheme.safe_store cnt 4 (ctx.s.Scheme.safe_load cnt 4 + delta)
+    | None ->
+      let fresh = ctx.s.Scheme.malloc node_bytes in
+      ctx.s.Scheme.store_ptr fresh (ctx.s.Scheme.load_ptr head);
+      ctx.s.Scheme.store (ctx.s.Scheme.offset fresh 8) 4 delta;
+      ctx.s.Scheme.store (ctx.s.Scheme.offset fresh 16) 4 word;
+      ctx.s.Scheme.store_ptr head fresh
+  in
+  let locals =
+    Array.init nthreads (fun _ -> ctx.s.Scheme.calloc nbuckets 8)
+  in
+  (* map: each thread counts into its own table *)
+  parallel ctx n (fun t lo hi ->
+      let mine = locals.(t) in
       for _i = lo to hi - 1 do
         let word = Rng.int ctx.rng distinct in
-        let h = (word * 2654435761) land (nbuckets - 1) in
         work ctx 12; (* hashing the word's characters *)
-        let head = idx ctx buckets h 8 in
-        let rec walk node depth =
-          if is_null ctx node || depth > 16 then None
-          else begin
-            work ctx 2;
-            if ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 16) 4 = word then Some node
-            else walk (ctx.s.Scheme.load_ptr node) (depth + 1)
-          end
-        in
-        match walk (ctx.s.Scheme.load_ptr head) 0 with
-        | Some node ->
-          let cnt = ctx.s.Scheme.offset node 8 in
-          ctx.s.Scheme.safe_store cnt 4 (ctx.s.Scheme.safe_load cnt 4 + 1)
-        | None ->
-          let fresh = ctx.s.Scheme.malloc node_bytes in
-          ctx.s.Scheme.store_ptr fresh (ctx.s.Scheme.load_ptr head);
-          ctx.s.Scheme.store (ctx.s.Scheme.offset fresh 8) 4 1;
-          ctx.s.Scheme.store (ctx.s.Scheme.offset fresh 16) 4 word;
-          ctx.s.Scheme.store_ptr head fresh
-      done)
+        insert mine word 1
+      done);
+  (* reduce: fold the per-thread tables into the final one *)
+  let buckets = ctx.s.Scheme.calloc nbuckets 8 in
+  Array.iter
+    (fun mine ->
+       for h = 0 to nbuckets - 1 do
+         let rec drain node =
+           if not (is_null ctx node) then begin
+             let next = ctx.s.Scheme.load_ptr node in
+             let word = ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 16) 4 in
+             let cnt = ctx.s.Scheme.safe_load (ctx.s.Scheme.offset node 8) 4 in
+             insert buckets word cnt;
+             ctx.s.Scheme.free node;
+             drain next
+           end
+         in
+         drain (ctx.s.Scheme.load_ptr (idx ctx mine h 8));
+         work ctx 1
+       done;
+       ctx.s.Scheme.free mine)
+    locals

@@ -1,0 +1,261 @@
+(* The instrumentation auditor: §4.4 contract verification and the
+   vector-clock race detector over Mt regions.
+
+   Covers the seeded scenarios (MPX bounds-table race, annotation
+   mutants), soundness corner cases (use-after-free, read checks not
+   licensing writes, check extents), precision corner cases that bit us
+   on real workloads (allocator address reuse across threads), the
+   pure-observation guarantee (audited metrics bit-identical), and
+   regression pins: every workload the auditor caught racing stays
+   clean at 4 threads after its fork/join restructuring. *)
+
+module Audit = Sb_analysis.Audit
+module Analyze = Sb_analysis.Analyze
+module Harness = Sb_harness.Harness
+module Registry = Sb_workloads.Registry
+module Memsys = Sb_sgx.Memsys
+module Config = Sb_machine.Config
+module Scheme = Sb_protection.Scheme
+module Mt = Sb_mt.Mt
+open Sb_protection.Types
+
+let with_audited ?(track_races = false) scheme f =
+  let ms = Memsys.create (Config.default ()) in
+  let s = Harness.maker scheme ms in
+  let s', a = Audit.wrap ~track_races s in
+  Fun.protect ~finally:Audit.unhook (fun () -> f s' a)
+
+(* ---- seeded scenarios (the CLI's --selftest, run under Alcotest) ---- *)
+
+let test_selftests () =
+  List.iter
+    (fun st ->
+       Alcotest.(check bool)
+         (st.Analyze.st_name ^ ": " ^ st.Analyze.st_detail)
+         true st.Analyze.st_pass)
+    (Analyze.selftests ())
+
+(* ---- contract soundness ---- *)
+
+let test_use_after_free_flagged () =
+  with_audited "native" (fun s a ->
+      let p = s.Scheme.malloc 64 in
+      s.Scheme.check_range p 64 Read;
+      ignore (s.Scheme.load_unchecked p 4);
+      Alcotest.(check int) "in-bounds while live" 0 (Audit.total a);
+      s.Scheme.free p;
+      ignore (s.Scheme.load_unchecked p 4);
+      Alcotest.(check bool) "access after free flagged" true
+        (Audit.count a Audit.Unchecked_uncovered > 0))
+
+let test_check_does_not_survive_realloc () =
+  with_audited "native" (fun s a ->
+      let p = s.Scheme.malloc 64 in
+      s.Scheme.check_range p 64 Write;
+      let q = s.Scheme.realloc p 128 in
+      ignore (s.Scheme.load_unchecked q 4);
+      Alcotest.(check bool) "stale check does not cover the new object"
+        true
+        (Audit.count a Audit.Unchecked_uncovered > 0);
+      s.Scheme.free q)
+
+let test_read_check_does_not_license_writes () =
+  with_audited "native" (fun s a ->
+      let p = s.Scheme.malloc 64 in
+      s.Scheme.check_range p 64 Read;
+      ignore (s.Scheme.load_unchecked p 4);
+      Alcotest.(check int) "read under read check is fine" 0 (Audit.total a);
+      s.Scheme.store_unchecked p 4 7;
+      Alcotest.(check bool) "write under read-only check flagged" true
+        (Audit.count a Audit.Unchecked_uncovered > 0);
+      s.Scheme.free p)
+
+let test_write_check_licenses_reads () =
+  with_audited "native" (fun s a ->
+      let p = s.Scheme.malloc 64 in
+      s.Scheme.check_range p 64 Write;
+      s.Scheme.store_unchecked p 4 7;
+      ignore (s.Scheme.load_unchecked p 4);
+      Alcotest.(check int) "write check covers both directions" 0
+        (Audit.total a);
+      s.Scheme.free p)
+
+let test_check_oob_flagged () =
+  with_audited "native" (fun s a ->
+      let p = s.Scheme.malloc 64 in
+      s.Scheme.check_range p 80 Read;
+      Alcotest.(check bool) "over-long check_range flagged" true
+        (Audit.count a Audit.Check_oob > 0);
+      s.Scheme.free p)
+
+let test_stack_frame_lifetime () =
+  with_audited "native" (fun s a ->
+      let tok = s.Scheme.stack_push () in
+      let p = s.Scheme.stack_alloc 32 in
+      s.Scheme.check_range p 32 Read;
+      ignore (s.Scheme.load_unchecked p 4);
+      Alcotest.(check int) "live frame is fine" 0 (Audit.total a);
+      s.Scheme.stack_pop tok;
+      ignore (s.Scheme.load_unchecked p 4);
+      Alcotest.(check bool) "access into popped frame flagged" true
+        (Audit.count a Audit.Unchecked_uncovered > 0))
+
+(* ---- race-detector precision ---- *)
+
+let test_disjoint_parallel_writes_clean () =
+  with_audited ~track_races:true "native" (fun s a ->
+      let p = s.Scheme.malloc 256 in
+      s.Scheme.check_range p 256 Write;
+      Mt.run s.Scheme.ms
+        [|
+          (fun () ->
+             for i = 0 to 7 do
+               s.Scheme.store_unchecked (s.Scheme.offset p (i * 4)) 4 i;
+               Mt.yield ()
+             done);
+          (fun () ->
+             for i = 8 to 15 do
+               s.Scheme.store_unchecked (s.Scheme.offset p (i * 4)) 4 i;
+               Mt.yield ()
+             done);
+        |];
+      Alcotest.(check int) "disjoint halves do not race" 0 (Audit.total a);
+      s.Scheme.free p)
+
+let test_sequential_between_regions_clean () =
+  (* region 1 writes, the join publishes, region 2 reads: no race *)
+  with_audited ~track_races:true "native" (fun s a ->
+      let p = s.Scheme.malloc 64 in
+      s.Scheme.check_range p 64 Write;
+      Mt.run s.Scheme.ms
+        [| (fun () -> s.Scheme.store_unchecked p 4 1); (fun () -> Mt.yield ()) |];
+      s.Scheme.store_unchecked p 4 2;
+      Mt.run s.Scheme.ms
+        [|
+          (fun () -> ignore (s.Scheme.load_unchecked p 4));
+          (fun () -> ignore (s.Scheme.load_unchecked (s.Scheme.offset p 8) 4));
+        |];
+      Alcotest.(check int) "fork/join is synchronization" 0 (Audit.total a);
+      s.Scheme.free p)
+
+let test_address_reuse_not_a_race () =
+  (* The swaptions false positive: thread A frees its block, a later
+     allocation by thread B recycles the address. The allocator
+     serializes the handoff, so the prior owner's accesses must not be
+     read as conflicts. *)
+  with_audited ~track_races:true "native" (fun s a ->
+      let slots = Array.make 2 None in
+      Mt.run s.Scheme.ms
+        [|
+          (fun () ->
+             let p = s.Scheme.malloc 32 in
+             s.Scheme.store p 4 1;
+             s.Scheme.free p;
+             slots.(0) <- Some (s.Scheme.addr_of p);
+             Mt.yield ());
+          (fun () ->
+             Mt.yield ();
+             let q = s.Scheme.malloc 32 in
+             s.Scheme.store q 4 2;
+             slots.(1) <- Some (s.Scheme.addr_of q);
+             s.Scheme.free q);
+        |];
+      Alcotest.(check (option int))
+        "the test is only meaningful if the address was recycled" slots.(0)
+        slots.(1);
+      Alcotest.(check int) "allocator handoff is synchronization" 0
+        (Audit.total a))
+
+let test_true_sharing_is_a_race () =
+  with_audited ~track_races:true "native" (fun s a ->
+      let p = s.Scheme.malloc 8 in
+      Mt.run s.Scheme.ms
+        [|
+          (fun () -> s.Scheme.store p 4 1; Mt.yield ());
+          (fun () -> s.Scheme.store p 4 2; Mt.yield ());
+        |];
+      Alcotest.(check bool) "same-word writes race" true
+        (Audit.count a Audit.Data_race > 0);
+      s.Scheme.free p)
+
+(* ---- pure observation: audited metrics are bit-identical ---- *)
+
+let test_audit_does_not_perturb_metrics () =
+  List.iter
+    (fun scheme ->
+       let w = Registry.find "histogram" in
+       let plain = Harness.run_one ~scheme ~n:256 w in
+       let wrap s = fst (Audit.wrap ~track_races:true s) in
+       let audited =
+         Fun.protect ~finally:Audit.unhook (fun () ->
+             Harness.run_one ~wrap ~scheme ~n:256 w)
+       in
+       Alcotest.(check bool)
+         (scheme ^ ": audited metrics bit-identical")
+         true
+         (Harness.metrics_exn plain = Harness.metrics_exn audited))
+    [ "native"; "sgxbounds"; "mpx" ]
+
+(* ---- regression pins: the workloads the auditor caught ---- *)
+
+let test_fixed_workloads_audit_clean () =
+  (* wordcount mutated shared bucket chains from the map phase; dedup
+     committed to the shared store from inside the region; fluidanimate
+     wrote the halo field its neighbours were reading; swaptions was an
+     auditor false positive (address reuse). All must stay clean at 4
+     threads under a metadata-bearing scheme and a plain one. *)
+  List.iter
+    (fun name ->
+       let w = Registry.find name in
+       List.iter
+         (fun scheme ->
+            let c = Analyze.run_cell ~threads:4 ~scheme w in
+            Alcotest.(check (option string))
+              (name ^ "/" ^ scheme ^ " completes") None c.Analyze.c_crashed;
+            Alcotest.(check int)
+              (name ^ "/" ^ scheme ^ " audits clean at t=4")
+              0 c.Analyze.c_total)
+         [ "sgxbounds"; "mpx" ])
+    [ "wordcount"; "fluidanimate"; "dedup"; "swaptions" ]
+
+let test_sweep_smoke () =
+  let cells =
+    Analyze.sweep ~schemes:[ "native"; "sgxbounds" ]
+      [ Registry.find "histogram"; Registry.find "mcf" ]
+  in
+  Alcotest.(check int) "4 cells" 4 (List.length cells);
+  Alcotest.(check int) "no findings" 0 (Analyze.cells_findings cells);
+  Alcotest.(check int) "no crashes" 0 (Analyze.cells_crashed cells);
+  List.iter
+    (fun c ->
+       Alcotest.(check bool) "audited some operations" true (c.Analyze.c_ops > 0))
+    cells
+
+let suite =
+  [
+    Alcotest.test_case "selftests: seeded race and mutants" `Quick test_selftests;
+    Alcotest.test_case "use-after-free access flagged" `Quick
+      test_use_after_free_flagged;
+    Alcotest.test_case "checks die with their object (realloc)" `Quick
+      test_check_does_not_survive_realloc;
+    Alcotest.test_case "read check does not license writes" `Quick
+      test_read_check_does_not_license_writes;
+    Alcotest.test_case "write check licenses reads" `Quick
+      test_write_check_licenses_reads;
+    Alcotest.test_case "over-long check_range flagged" `Quick test_check_oob_flagged;
+    Alcotest.test_case "stack frames bound object lifetime" `Quick
+      test_stack_frame_lifetime;
+    Alcotest.test_case "races: disjoint parallel writes clean" `Quick
+      test_disjoint_parallel_writes_clean;
+    Alcotest.test_case "races: fork/join synchronizes" `Quick
+      test_sequential_between_regions_clean;
+    Alcotest.test_case "races: address reuse is not a race" `Quick
+      test_address_reuse_not_a_race;
+    Alcotest.test_case "races: true sharing is a race" `Quick
+      test_true_sharing_is_a_race;
+    Alcotest.test_case "audit is pure observation (metrics identical)" `Slow
+      test_audit_does_not_perturb_metrics;
+    Alcotest.test_case "fixed workloads audit clean at t=4" `Slow
+      test_fixed_workloads_audit_clean;
+    Alcotest.test_case "sweep smoke" `Slow test_sweep_smoke;
+  ]

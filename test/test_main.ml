@@ -26,6 +26,7 @@ let () =
       ("differential", Test_differential.suite);
       ("fastpath", Test_fastpath.suite);
       ("fuzz", Test_fuzz.suite);
+      ("analysis", Test_analysis.suite);
       ("ripe-golden", Test_ripe_golden.suite);
       ("sink-golden", Test_sink_golden.suite);
     ]

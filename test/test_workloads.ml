@@ -92,9 +92,81 @@ let test_more_threads_not_slower () =
   let t4 = run_kernel native w ~threads:4 in
   Alcotest.(check bool) "t4 < t1" true (t4 < t1)
 
+(* ---- Wctx.parallel edge cases ---- *)
+
+let parallel_ctx threads =
+  let m = ms () in
+  Wctx.make ~threads (native m)
+
+let covered_ranges ctx n =
+  (* collect every (lo, hi) a worker actually received *)
+  let got = ref [] in
+  Wctx.parallel ctx n (fun t lo hi -> got := (t, lo, hi) :: !got);
+  List.rev !got
+
+let test_parallel_zero_items () =
+  List.iter
+    (fun threads ->
+       let ctx = parallel_ctx threads in
+       let calls = covered_ranges ctx 0 in
+       List.iter
+         (fun (_, lo, hi) ->
+            Alcotest.(check bool) "no non-empty range for n=0" true (lo >= hi))
+         calls)
+    [ 1; 4 ]
+
+let test_parallel_fewer_items_than_threads () =
+  let ctx = parallel_ctx 4 in
+  let calls = covered_ranges ctx 2 in
+  let items =
+    List.concat_map (fun (_, lo, hi) -> List.init (max 0 (hi - lo)) (fun i -> lo + i)) calls
+  in
+  Alcotest.(check (list int)) "each item exactly once, in order" [ 0; 1 ]
+    (List.sort compare items)
+
+let test_parallel_uneven_partition () =
+  (* n not divisible by threads: every index covered exactly once, no
+     overlap, empty tails allowed *)
+  List.iter
+    (fun n ->
+       let ctx = parallel_ctx 3 in
+       let calls = covered_ranges ctx n in
+       let seen = Array.make (max 1 n) 0 in
+       List.iter
+         (fun (_, lo, hi) ->
+            for i = lo to hi - 1 do
+              seen.(i) <- seen.(i) + 1
+            done)
+         calls;
+       Array.iteri
+         (fun i c ->
+            if i < n then
+              Alcotest.(check int) (Printf.sprintf "n=%d item %d once" n i) 1 c)
+         seen)
+    [ 1; 5; 7; 64 ]
+
+let test_parallel_inline_when_single_threaded () =
+  (* threads=1 must not enter the scheduler: one call covering [0, n) *)
+  let ctx = parallel_ctx 1 in
+  let calls = covered_ranges ctx 10 in
+  Alcotest.(check int) "one call" 1 (List.length calls);
+  match calls with
+  | [ (t, lo, hi) ] ->
+    Alcotest.(check int) "thread 0" 0 t;
+    Alcotest.(check int) "lo" 0 lo;
+    Alcotest.(check int) "hi" 10 hi
+  | _ -> Alcotest.fail "expected exactly one inline call"
+
 let suite =
   kernel_cases @ mt_cases
   @ [
+      Alcotest.test_case "parallel: n=0 runs no items" `Quick test_parallel_zero_items;
+      Alcotest.test_case "parallel: n < threads" `Quick
+        test_parallel_fewer_items_than_threads;
+      Alcotest.test_case "parallel: uneven partition covers once" `Quick
+        test_parallel_uneven_partition;
+      Alcotest.test_case "parallel: inline when threads=1" `Quick
+        test_parallel_inline_when_single_threaded;
       Alcotest.test_case "runs are deterministic" `Quick test_deterministic;
       Alcotest.test_case "instrumentation never free" `Quick test_instrumentation_never_free;
       Alcotest.test_case "pointer-intensity flags match MPX BTs" `Quick
