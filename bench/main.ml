@@ -30,11 +30,16 @@ module Util = Sb_machine.Util
 module Fastpath = Sb_machine.Fastpath
 module Json = Sb_telemetry.Json
 
-(* Runner options, set by the CLI flags (--jobs N, --smoke, --out FILE)
-   before any experiment runs. *)
+(* Runner options, set by the CLI flags (--jobs N, --smoke, --out FILE,
+   --baseline FILE, --tolerance PCT, --label L) before any experiment
+   runs. [out_file] stays [None] unless --out was given: throughput and
+   score write different default files. *)
 let jobs = ref 1
 let smoke = ref false
-let out_file = ref "BENCH_PR2.json"
+let out_file : string option ref = ref None
+let baseline_file : string option ref = ref None
+let tolerance = ref 25
+let label = ref "HEAD"
 
 let header title =
   Fmt.pr "@.===============================================================@.";
@@ -440,6 +445,7 @@ module Service = Sb_service.Service
 module Sexp = Sb_service.Experiment
 module Drivers = Sb_service.Drivers
 module Latency = Sb_service.Latency
+module Score = Sb_service.Score
 
 let fig13_schemes =
   [ ("native(out)", "native", Config.Outside_enclave);
@@ -884,6 +890,21 @@ let throughput () =
        Fmt.pr "grid (%d cells) with %d job(s): %.3fs@." (List.length cells) j t)
     times;
   let t1 = List.assoc 1 times in
+  (* Which job count actually won? On a loaded or small host, fanning
+     the grid across domains can measure *slower* than serial — worth a
+     warning (and a recorded verdict) rather than silent trust in -j. *)
+  let jobs_effective =
+    List.fold_left (fun (bj, bt) (j, t) -> if t < bt then (j, t) else (bj, bt))
+      (1, t1) times
+    |> fst
+  in
+  let slower = List.filter (fun (j, t) -> j > 1 && t > t1) times in
+  List.iter
+    (fun (j, t) ->
+       Fmt.pr "warning: %d jobs measured SLOWER than serial (%.3fs vs %.3fs) — \
+               domain fan-out is not paying off on this host@." j t t1)
+    slower;
+  Fmt.pr "effective job count: %d@." jobs_effective;
   let grid =
     List.map
       (fun (j, t) ->
@@ -892,28 +913,113 @@ let throughput () =
              ("speedup", Json.Float (t1 /. t)) ])
       times
   in
+  (* Schema v2: the deterministic score rides along so one file carries
+     both the host-speed and the host-noise-free views of this build. *)
+  let score_ms = Score.measure_all ~smoke:true in
   let doc =
     Json.Obj
       [
         ("bench", Json.Str "throughput");
+        ("version", Json.Int 2);
+        ("engine", Json.Str (Score.engine ()));
         ("smoke", Json.Bool !smoke);
         ("rounds", Json.Int rounds);
         ("accesses", Json.Int accesses);
         ("sim_maps", Json.Float sim_maps);
         ("naive_maps", Json.Float (naive_rate /. 1e6));
         ("speedup_vs_naive", Json.Float speedup);
+        ("score_total", Json.Int (Score.total score_ms));
         ("grid_cells", Json.Int (List.length cells));
         ("grid_scaling", Json.List grid);
+        ("jobs_effective", Json.Int jobs_effective);
+        ("parallel_slower_than_serial", Json.Bool (slower <> []));
       ]
   in
   let s = Json.to_string doc in
   (match Json.parse s with
    | Ok _ -> ()
    | Error e -> failwith ("throughput: emitted invalid JSON: " ^ e));
-  Out_channel.with_open_bin !out_file (fun oc ->
+  let out = Option.value !out_file ~default:"BENCH_PR2.json" in
+  Out_channel.with_open_bin out (fun oc ->
       output_string oc s;
       output_char oc '\n');
-  Fmt.pr "wrote %s@." !out_file
+  Fmt.pr "wrote %s@." out
+
+(* ------------------------------------------------------------------ *)
+(* Score: deterministic perf gate (no wall clock anywhere)             *)
+(* ------------------------------------------------------------------ *)
+
+let read_json file =
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error e ->
+      Fmt.epr "cannot read %s: %s@." file e;
+      exit 1
+  in
+  match Json.parse contents with
+  | Ok j -> j
+  | Error e ->
+    Fmt.epr "%s: invalid JSON: %s@." file e;
+    exit 1
+
+let score () =
+  header
+    "Score: deterministic perf score — OCaml allocation words per 1000 units\n\
+     of simulated work, per kernel (bit-identical across runs; no wall clock)";
+  let ms = Score.measure_all ~smoke:!smoke in
+  Fmt.pr "engine: %s%s@.@." (Score.engine ()) (if !smoke then "   (smoke inputs)" else "");
+  Fmt.pr "%-22s %12s %12s %12s %12s %8s@." "kernel" "accesses" "instrs" "cycles"
+    "allocWords" "score";
+  List.iter
+    (fun m ->
+       Fmt.pr "%-22s %12d %12d %12d %12d %8d@." m.Score.m_kernel m.Score.m_accesses
+         m.Score.m_instrs m.Score.m_cycles m.Score.m_alloc_words m.Score.m_score)
+    ms;
+  Fmt.pr "%-22s %53s %8d@." "total" "" (Score.total ms);
+  (* The gate: compare against the committed baseline before touching
+     any file, and fail loudly without rewriting it on regression. *)
+  (match !baseline_file with
+   | None -> ()
+   | Some file ->
+     (match Score.gate ~smoke:!smoke ~tolerance_pct:!tolerance ~baseline:(read_json file) ms with
+      | Error msg ->
+        Fmt.epr "score gate: %s@." msg;
+        exit 1
+      | Ok verdicts ->
+        Fmt.pr "@.gate vs %s (tolerance %d%%):@." file !tolerance;
+        List.iter
+          (fun v ->
+             Fmt.pr "  %-22s %8d -> %8d  %+5.1f%%  %s@." v.Score.v_kernel v.Score.v_old
+               v.Score.v_new
+               (100. *. float_of_int (v.Score.v_new - v.Score.v_old)
+                /. float_of_int (max 1 v.Score.v_old))
+               (if v.Score.v_regressed then "REGRESSED" else "ok"))
+          verdicts;
+        if List.exists (fun v -> v.Score.v_regressed) verdicts then begin
+          Fmt.epr
+            "score gate: regression beyond %d%% tolerance — if intentional, \
+             regenerate the baseline with `bench score --out %s'@."
+            !tolerance file;
+          exit 1
+        end));
+  let out = Option.value !out_file ~default:"BENCH_PR6.json" in
+  (* mktemp-style callers hand us a pre-created empty file: that is
+     "no trend history yet", not a corrupt document. *)
+  let prev =
+    match In_channel.with_open_bin out In_channel.input_all with
+    | exception Sys_error _ -> None
+    | s when String.trim s = "" -> None
+    | _ -> Some (read_json out)
+  in
+  let doc = Score.doc ~smoke:!smoke ~label:!label ~prev ms in
+  let s = Json.to_string doc in
+  (match Json.parse s with
+   | Ok _ -> ()
+   | Error e -> failwith ("score: emitted invalid JSON: " ^ e));
+  Out_channel.with_open_bin out (fun oc ->
+      output_string oc s;
+      output_char oc '\n');
+  Fmt.pr "@.wrote %s (label %S)@." out !label
 
 (* ------------------------------------------------------------------ *)
 
@@ -937,6 +1043,7 @@ let experiments =
     ("ablations", ablations);
     ("bechamel", bechamel);
     ("throughput", throughput);
+    ("score", score);
   ]
 
 let () =
@@ -957,10 +1064,33 @@ let () =
       smoke := true;
       parse acc rest
     | "--out" :: v :: rest ->
-      out_file := v;
+      out_file := Some v;
       parse acc rest
     | [ "--out" ] ->
       Fmt.epr "--out expects an argument@.";
+      exit 1
+    | "--baseline" :: v :: rest ->
+      baseline_file := Some v;
+      parse acc rest
+    | [ "--baseline" ] ->
+      Fmt.epr "--baseline expects an argument@.";
+      exit 1
+    | "--tolerance" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 0 ->
+         tolerance := n;
+         parse acc rest
+       | _ ->
+         Fmt.epr "--tolerance expects a percentage >= 0, got %S@." v;
+         exit 1)
+    | [ "--tolerance" ] ->
+      Fmt.epr "--tolerance expects an argument@.";
+      exit 1
+    | "--label" :: v :: rest ->
+      label := v;
+      parse acc rest
+    | [ "--label" ] ->
+      Fmt.epr "--label expects an argument@.";
       exit 1
     | a :: rest -> parse (a :: acc) rest
   in

@@ -18,6 +18,7 @@ module Config = Sb_machine.Config
 module Telemetry = Sb_telemetry.Telemetry
 module Sink = Sb_telemetry.Sink
 module Json = Sb_telemetry.Json
+module Profile = Sb_telemetry.Profile
 
 (* Unknown workload/scheme names are user errors: report them cleanly on
    stderr (with the valid spellings) instead of an exception trace. *)
@@ -275,23 +276,64 @@ let validate_bench_cmd =
     match Json.parse contents with
     | Error msg -> die "%s: invalid JSON: %s" file msg
     | Ok j ->
-      let num k =
-        match Json.member k j with
+      let num ?(where = j) k =
+        match Json.member k where with
         | Some (Json.Int _ | Json.Float _) -> ()
         | Some _ -> die "%s: key %S is not a number" file k
         | None -> die "%s: missing key %S" file k
       in
-      num "sim_maps";
-      num "speedup_vs_naive";
-      Fmt.pr "%s: valid bench result (sim_maps, speedup_vs_naive present)@." file
+      let str k =
+        match Json.member k j with
+        | Some (Json.Str _) -> ()
+        | Some _ -> die "%s: key %S is not a string" file k
+        | None -> die "%s: missing key %S" file k
+      in
+      (match Json.member "bench" j with
+       | Some (Json.Str "score") ->
+         (* `bench score' document: deterministic per-kernel scores + trend *)
+         str "engine";
+         num "score_total";
+         (match Json.member "kernels" j with
+          | Some (Json.List (_ :: _ as ks)) ->
+            List.iter
+              (fun k ->
+                 match (Json.member "kernel" k, Json.member "score" k) with
+                 | Some (Json.Str _), Some (Json.Int _) -> ()
+                 | _ -> die "%s: malformed kernel entry" file)
+              ks
+          | _ -> die "%s: missing or empty \"kernels\" array" file);
+         (match Json.member "trend" j with
+          | Some (Json.List (_ :: _)) -> ()
+          | _ -> die "%s: missing or empty \"trend\" array" file);
+         Fmt.pr "%s: valid score document (engine, score_total, kernels, trend)@." file
+       | Some (Json.Str "throughput") | None ->
+         (* `bench throughput' document (v1 files have no "bench" key) *)
+         num "sim_maps";
+         num "speedup_vs_naive";
+         let v2 =
+           match Json.member "version" j with
+           | Some (Json.Int v) -> v >= 2
+           | _ -> false
+         in
+         if v2 then begin
+           str "engine";
+           num "score_total";
+           num "jobs_effective"
+         end;
+         Fmt.pr "%s: valid throughput document%s@." file
+           (if v2 then " (v2: engine, score_total, jobs_effective present)" else "")
+       | Some (Json.Str b) -> die "%s: unknown bench kind %S" file b
+       | Some _ -> die "%s: \"bench\" key is not a string" file)
   in
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"BENCH_*.json file.")
   in
   Cmd.v
     (Cmd.info "validate-bench"
-       ~doc:"Validate a BENCH_*.json emitted by `bench/main.exe throughput': must parse \
-             as JSON and carry numeric sim_maps and speedup_vs_naive keys.")
+       ~doc:"Validate a BENCH_*.json emitted by `bench/main.exe throughput' or `bench \
+             score': must parse as JSON and carry the keys of its schema (throughput: \
+             numeric sim_maps/speedup_vs_naive, plus engine/score_total/jobs_effective \
+             from v2; score: engine, score_total, per-kernel scores and a trend array).")
     Term.(const run $ file_arg)
 
 let fuzz_cmd =
@@ -450,13 +492,166 @@ let analyze_cmd =
     Term.(const run $ workload_opt_arg $ scheme_opt_arg $ threads_arg $ n_arg
           $ outside_arg $ json_arg $ selftest_arg $ full_arg)
 
+let profile_cmd =
+  let module Sexp = Sb_service.Experiment in
+  let module Drivers = Sb_service.Drivers in
+  let path_str = function [] -> "(root)" | p -> String.concat ";" p in
+  (* bucket with the largest |cycles| share; first index wins ties *)
+  let dominant buckets arr =
+    let best = ref 0 and bi = ref (-1) in
+    Array.iteri (fun i v -> if abs v > !best then begin best := abs v; bi := i end) arr;
+    if !bi < 0 then "-" else buckets.(!bi)
+  in
+  let print_profile ~label prof =
+    let total = Profile.total prof in
+    Fmt.pr "profile %s: %d cycles attributed@." label total;
+    Fmt.pr "%12s %6s %10s  %-12s %s@." "self" "%" "charges" "dominant" "site";
+    let rows =
+      Profile.rows prof
+      |> List.filter (fun r -> r.Profile.r_self > 0)
+      |> List.sort (fun a b ->
+          match compare b.Profile.r_self a.Profile.r_self with
+          | 0 -> compare a.Profile.r_path b.Profile.r_path
+          | c -> c)
+    in
+    List.iteri
+      (fun i r ->
+         if i < 24 then
+           Fmt.pr "%12d %5.1f%% %10d  %-12s %s@." r.Profile.r_self
+             (100. *. float_of_int r.Profile.r_self /. float_of_int (max 1 total))
+             r.Profile.r_charges
+             (dominant (Profile.bucket_names prof) r.Profile.r_buckets)
+             (path_str r.Profile.r_path))
+      rows
+  in
+  let print_diff ~a_label ~b_label prof_a ds =
+    let buckets = Profile.bucket_names prof_a in
+    let total_delta = List.fold_left (fun acc d -> acc + Profile.d_delta d) 0 ds in
+    Fmt.pr "profile diff: %s -> %s (%+d cycles)@." a_label b_label total_delta;
+    (* where the extra cycles live, by cost bucket across all sites *)
+    let by_bucket = Array.make (Array.length buckets) 0 in
+    List.iter
+      (fun d ->
+         Array.iteri (fun i v -> by_bucket.(i) <- by_bucket.(i) + v) d.Profile.d_buckets)
+      ds;
+    Fmt.pr "delta by class:";
+    Array.iteri
+      (fun i v -> if v <> 0 then Fmt.pr " %s=%+d" buckets.(i) v)
+      by_bucket;
+    Fmt.pr "@.";
+    Fmt.pr "%12s %12s %12s  %-12s %s@." "delta" a_label b_label "dominant" "site";
+    List.iteri
+      (fun i d ->
+         if i < 24 && (d.Profile.d_a > 0 || d.Profile.d_b > 0) then
+           Fmt.pr "%+12d %12d %12d  %-12s %s@." (Profile.d_delta d) d.Profile.d_a
+             d.Profile.d_b
+             (dominant buckets d.Profile.d_buckets)
+             (path_str d.Profile.d_path))
+      ds
+  in
+  let run workload app scheme diff threads n outside requests out json =
+    let env = env_of outside in
+    (* One profiled run of the chosen target under [scheme]: a registry
+       workload with -w, otherwise the service app handler. *)
+    let target, collect =
+      match workload with
+      | Some wname ->
+        let w = find_workload wname in
+        ( wname,
+          fun scheme ->
+            let r, prof = Harness.run_profiled ~env ~threads ?n ~scheme w in
+            (match r.Harness.outcome with
+             | Harness.Completed _ -> ()
+             | Harness.Crashed msg -> die "profile %s/%s crashed: %s" wname scheme msg);
+            prof )
+      | None ->
+        let app =
+          match Drivers.of_string app with
+          | Some a -> a
+          | None ->
+            die "unknown app '%s'.@.Valid apps: %s" app (String.concat ", " Drivers.app_names)
+        in
+        ( Drivers.name app,
+          fun scheme ->
+            match Sexp.profile_app ~env ~requests ~app ~scheme () with
+            | Ok prof -> prof
+            | Error msg -> die "profile %s/%s crashed: %s" (Drivers.name app) scheme msg )
+    in
+    match diff with
+    | Some spec ->
+      let a_scheme, b_scheme =
+        match String.split_on_char ':' spec with
+        | [ a; b ] when a <> "" && b <> "" -> (a, b)
+        | _ -> die "--diff expects SCHEME_A:SCHEME_B (e.g. sgxbounds:mpx)"
+      in
+      check_scheme a_scheme;
+      check_scheme b_scheme;
+      let pa = collect a_scheme and pb = collect b_scheme in
+      let ds = Profile.diff pa pb in
+      let a_label = target ^ "/" ^ a_scheme and b_label = target ^ "/" ^ b_scheme in
+      if json then
+        Fmt.pr "%s@." (Json.to_string (Profile.diff_to_json ~a_label ~b_label pa ds))
+      else print_diff ~a_label ~b_label pa ds
+    | None ->
+      check_scheme scheme;
+      let prof = collect scheme in
+      let label = target ^ "/" ^ scheme in
+      (match out with
+       | Some file ->
+         (try Sink.write_file file (Profile.to_collapsed ~label prof)
+          with Sys_error e -> die "cannot write %s: %s" file e)
+       | None -> ());
+      if json then Fmt.pr "%s@." (Json.to_string (Profile.to_json ~label prof))
+      else begin
+        print_profile ~label prof;
+        match out with
+        | Some file -> Fmt.pr "collapsed stacks written to %s@." file
+        | None -> ()
+      end
+  in
+  let workload_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ]
+             ~doc:"Profile this registry workload (default: profile a service app).")
+  in
+  let app_arg =
+    Arg.(value & opt string "memcached"
+         & info [ "app" ] ~docv:"APP"
+             ~doc:"Service app to profile when no -w is given: http, memcached, sqlite.")
+  in
+  let diff_arg =
+    Arg.(value & opt (some string) None
+         & info [ "diff" ] ~docv:"A:B"
+             ~doc:"Differential mode: profile the target under scheme A and scheme B and \
+                   report per-site cycle deltas (B - A), e.g. --diff sgxbounds:mpx.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~doc:"Requests to serve in app mode (one worker, no load gen).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write collapsed-stack flamegraph text (\"site;...;site cycles\" lines, \
+                   flamegraph.pl / speedscope folded format).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Site-attributed simulation profile: where the simulated cycles go, per site \
+             (setup / run / request, scheme op hooks) and per memsys class, as a table, \
+             collapsed-stack flamegraph text, JSON, or an A:B differential between two \
+             schemes.")
+    Term.(const run $ workload_opt_arg $ app_arg $ scheme_arg $ diff_arg $ threads_arg
+          $ n_arg $ outside_arg $ requests_arg $ out_arg $ json_arg)
+
 let serve_cmd =
   let module Service = Sb_service.Service in
   let module Loadgen = Sb_service.Loadgen in
   let module Drivers = Sb_service.Drivers in
   let module Sexp = Sb_service.Experiment in
   let module Latency = Sb_service.Latency in
-  let run app scheme rate workers queue requests process seed outside smoke json =
+  let module Spans = Sb_service.Spans in
+  let run app scheme rate workers queue requests process seed outside smoke spans trace json =
     check_scheme scheme;
     let app =
       match Drivers.of_string app with
@@ -476,11 +671,29 @@ let serve_cmd =
     if workers < 1 then die "--workers must be >= 1";
     if queue < 1 then die "--queue must be >= 1";
     if requests < 0 then die "--requests must be >= 0";
+    if spans < 1 then die "--spans must be >= 1";
     let requests = if smoke then min requests 200 else requests in
     let cfg =
       { Service.workers; queue_cap = queue; requests; rate_rps = rate; process; seed }
     in
-    let p = Sexp.run_cell { Sexp.app; scheme; env = env_of outside; cfg } in
+    (* Request spans are recorded whenever they can be seen afterwards
+       (--trace or --json); the plain human summary stays untraced. *)
+    let tracing = trace <> None || json in
+    let p =
+      Sexp.run_cell ?spans:(if tracing then Some spans else None)
+        { Sexp.app; scheme; env = env_of outside; cfg }
+    in
+    (match (trace, p.Sexp.pt_spans) with
+     | Some file, Some log ->
+       let snap =
+         { Sink.counters = []; histograms = []; events = Spans.events log;
+           dropped_events = 0 }
+       in
+       (try
+          Sink.write_chrome_trace
+            ~process_name:(p.Sexp.pt_app ^ "/" ^ scheme ^ " slowest requests") file snap
+        with Sys_error e -> die "cannot write trace: %s" e)
+     | _ -> ());
     match p.Sexp.pt_outcome with
     | Error msg ->
       if json then
@@ -494,10 +707,29 @@ let serve_cmd =
       let s = Service.summary st in
       let qw = Latency.summary st.Service.queue_wait in
       if json then
+        let attribution =
+          Json.Obj
+            (List.map
+               (fun (c, (cs : Sb_sgx.Memsys.class_stat)) ->
+                  ( Sb_sgx.Memsys.class_name c,
+                    Json.Obj
+                      [ ("cycles", Json.Int cs.Sb_sgx.Memsys.cycles);
+                        ("accesses", Json.Int cs.Sb_sgx.Memsys.accesses) ] ))
+               p.Sexp.pt_attr
+             @ [ ( "compute",
+                   Json.Obj
+                     [ ("cycles", Json.Int p.Sexp.pt_compute); ("accesses", Json.Int 0) ]
+                 ) ])
+        in
+        let span_fields =
+          match p.Sexp.pt_spans with
+          | Some log -> [ ("spans", Spans.to_json log) ]
+          | None -> []
+        in
         Fmt.pr "%s@."
           (Json.to_string
              (Json.Obj
-                [
+                ([
                   ("app", Json.Str p.Sexp.pt_app);
                   ("scheme", Json.Str scheme);
                   ("env", Json.Str (Harness.env_name p.Sexp.pt_env));
@@ -520,7 +752,9 @@ let serve_cmd =
                   ( "queue_wait_cycles",
                     Json.Obj
                       [ ("p50", Json.Int qw.Latency.p50); ("p99", Json.Int qw.Latency.p99) ] );
-                ]))
+                  ("attribution", attribution);
+                ]
+                 @ span_fields)))
       else begin
         Fmt.pr "serve %s/%s (%s): %s arrivals at %.0f rps, %d workers, queue %d, seed %d@."
           p.Sexp.pt_app scheme (Harness.env_name p.Sexp.pt_env)
@@ -532,7 +766,10 @@ let serve_cmd =
           (float_of_int st.Service.elapsed /. 1e6)
           (Service.throughput_rps st /. 1000.);
         Fmt.pr "latency:    %a@." Latency.pp s;
-        Fmt.pr "queue wait: %a@." Latency.pp qw
+        Fmt.pr "queue wait: %a@." Latency.pp qw;
+        match trace with
+        | Some file -> Fmt.pr "slowest-request trace written to %s@." file
+        | None -> ()
       end
   in
   let app_arg =
@@ -565,13 +802,27 @@ let serve_cmd =
   let smoke_arg =
     Arg.(value & flag & info [ "smoke" ] ~doc:"CI mode: cap --requests at 200.")
   in
+  let spans_arg =
+    Arg.(value & opt int 8
+         & info [ "spans" ] ~docv:"K"
+             ~doc:"Exemplar reservoir size: keep the K slowest requests' trace spans \
+                   (recorded when --trace or --json is given).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the slowest-request exemplar spans as Chrome trace_event JSON \
+                   (queue-wait and execution windows per request, per-class cycles as \
+                   args; open at chrome://tracing or ui.perfetto.dev).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Open-loop load generation against a case-study app: deterministic arrival \
              schedule, bounded accept queue (overload sheds, never wedges), per-request \
              latency percentiles. The service-layer reproduction of Figure 13.")
     Term.(const run $ app_arg $ scheme_arg $ rate_arg $ workers_arg $ queue_arg
-          $ requests_arg $ process_arg $ seed_arg $ outside_arg $ smoke_arg $ json_arg)
+          $ requests_arg $ process_arg $ seed_arg $ outside_arg $ smoke_arg $ spans_arg
+          $ trace_out_arg $ json_arg)
 
 let () =
   let info = Cmd.info "sgxbounds_cli" ~doc:"SGXBounds reproduction driver" in
@@ -579,4 +830,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; stats_cmd; compare_cmd; list_cmd; ripe_cmd; exploits_cmd;
-            validate_bench_cmd; fuzz_cmd; analyze_cmd; serve_cmd ]))
+            validate_bench_cmd; fuzz_cmd; analyze_cmd; profile_cmd; serve_cmd ]))

@@ -66,8 +66,27 @@ serve_out=$("$CLI" serve --app memcached --scheme sgxbounds --rate 400000 --smok
 if command -v jq >/dev/null 2>&1; then
   echo "$serve_out" | jq -e '.completed + .dropped == .offered' >/dev/null
   echo "$serve_out" | jq -e '.latency_cycles.p50 <= .latency_cycles.p99' >/dev/null
+  # request spans must agree with the aggregate counters: every span's
+  # sojourn decomposes into queue wait + execution, the slowest recorded
+  # span IS the latency histogram max, per-span class cycles sum to the
+  # exec window, and the per-class attribution carries real cycles.
+  echo "$serve_out" | jq -e '[.spans.slowest[] | .sojourn == .queue_wait + .exec] | all' >/dev/null
+  echo "$serve_out" | jq -e '.spans.slowest[0].sojourn == .latency_cycles.max' >/dev/null
+  echo "$serve_out" | jq -e '[.spans.slowest[] | .exec == ([.classes[]] | add)] | all' >/dev/null
+  echo "$serve_out" | jq -e '[.attribution[].cycles] | add > 0' >/dev/null
 else
   echo "$serve_out" | grep -q '"completed"'
+fi
+# Chrome-trace sink: slowest-request exemplar spans as trace events
+serve_trace=$(mktemp /tmp/sgxbounds-serve-trace.XXXXXX.json)
+trap 'rm -f "$trace" "$bench_out" "$serve_trace"' EXIT
+"$CLI" serve --app memcached --scheme sgxbounds --rate 400000 --smoke \
+  --trace "$serve_trace" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.traceEvents | length > 1' "$serve_trace" >/dev/null
+  jq -e '[.traceEvents[] | select(.ph == "X")] | length > 0' "$serve_trace" >/dev/null
+else
+  grep -q '"traceEvents"' "$serve_trace"
 fi
 # overload with a tiny queue must shed, not deadlock
 shed_out=$("$CLI" serve --app http --scheme sgxbounds --rate 5000000 \
@@ -78,6 +97,53 @@ if command -v jq >/dev/null 2>&1; then
 else
   echo "$shed_out" | grep -q '"dropped"'
 fi
+
+echo "== CLI smoke: profile (site attribution, 1 workload x 2 schemes)"
+prof_out=$("$CLI" profile -w kmeans -s sgxbounds -n 512 --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$prof_out" | jq -e '.total_cycles > 0' >/dev/null
+  echo "$prof_out" | jq -e '.sites | length > 1' >/dev/null
+else
+  echo "$prof_out" | grep -q '"total_cycles"'
+fi
+"$CLI" profile -w kmeans -s mpx -n 512 --json | grep -q '"total_cycles"'
+# collapsed-stack flamegraph export: non-empty "site;...;site cycles" lines
+collapsed=$(mktemp /tmp/sgxbounds-collapsed.XXXXXX.txt)
+trap 'rm -f "$trace" "$bench_out" "$serve_trace" "$collapsed"' EXIT
+"$CLI" profile -w kmeans -s sgxbounds -n 512 --out "$collapsed" >/dev/null
+test -s "$collapsed"
+grep -Eq '^[^ ]+ [0-9]+$' "$collapsed"
+
+echo "== CLI smoke: profile --diff sgxbounds:mpx (bounds-table attribution)"
+# MPX's extra cycles over SGXBounds must land on bounds-table sites.
+diff_out=$("$CLI" profile --app memcached --diff sgxbounds:mpx --requests 50 --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$diff_out" | jq -e '[.sites[].by_bucket.bounds_table] | add > 0' >/dev/null
+else
+  echo "$diff_out" | grep -q '"bounds_table"'
+fi
+
+echo "== bench score: deterministic perf gate vs committed baseline"
+score_a=$(mktemp /tmp/sgxbounds-score-a.XXXXXX.json)
+score_b=$(mktemp /tmp/sgxbounds-score-b.XXXXXX.json)
+trap 'rm -f "$trace" "$bench_out" "$serve_trace" "$collapsed" "$score_a" "$score_b"' EXIT
+_build/default/bench/main.exe --smoke --baseline BENCH_PR6.json \
+  --label ci --out "$score_a" score >/dev/null
+_build/default/bench/main.exe --smoke --baseline BENCH_PR6.json \
+  --label ci --out "$score_b" score >/dev/null
+# the score is simulated-work based: consecutive runs must be bit-identical
+cmp "$score_a" "$score_b"
+"$CLI" validate-bench "$score_a"
+# a deliberate slowdown (env-injected extra allocation) must trip the gate
+if SGXBOUNDS_SCORE_PERTURB=100 _build/default/bench/main.exe --smoke \
+     --baseline BENCH_PR6.json --out "$score_a" score >/dev/null 2>&1; then
+  echo "score gate failed to catch a deliberate slowdown" >&2
+  exit 1
+fi
+
+echo "== committed bench documents validate"
+"$CLI" validate-bench BENCH_PR2.json
+"$CLI" validate-bench BENCH_PR6.json
 
 echo "== audit selftest: seeded race + annotation mutants"
 "$CLI" analyze --selftest >/dev/null

@@ -12,6 +12,7 @@ module Memsys = Sb_sgx.Memsys
 module Vmem = Sb_vmem.Vmem
 module Scheme = Sb_protection.Scheme
 module Telemetry = Sb_telemetry.Telemetry
+module Profile = Sb_telemetry.Profile
 module Json = Sb_telemetry.Json
 open Sb_protection.Types
 
@@ -86,6 +87,36 @@ let maker name =
       (Printf.sprintf "Harness.maker: unknown scheme %S (valid schemes: %s)" name
          (String.concat ", " scheme_names))
 
+(** Metrics of a completed run on machine [ms] under scheme [s]. *)
+let collect_metrics ms (s : Scheme.t) =
+  let snap = Memsys.snapshot ms in
+  {
+    cycles = snap.Memsys.cycles;
+    instrs = snap.Memsys.instrs;
+    mem_accesses = snap.Memsys.mem_accesses;
+    llc_misses = snap.Memsys.llc_misses;
+    epc_faults = snap.Memsys.epc_faults;
+    epc_evictions = Memsys.epc_evictions ms;
+    peak_vm = Vmem.peak_reserved_bytes (Memsys.vmem ms);
+    bts = s.Scheme.extras.bts_allocated;
+    quarantine = s.Scheme.extras.quarantine_bytes;
+    attribution = Memsys.attribution ms;
+    compute_cycles = Memsys.compute_cycles ms;
+    cache = Memsys.cache_stats ms;
+    checks_done = s.Scheme.extras.checks_done;
+    checks_elided = s.Scheme.extras.checks_elided;
+    checks_hoisted = s.Scheme.extras.checks_hoisted;
+    violations = s.Scheme.extras.violations;
+  }
+
+(** Run the workload body [f], mapping the crash taxonomy to [outcome]. *)
+let run_body f collect =
+  match f () with
+  | () -> Completed (collect ())
+  | exception App_crash msg -> Crashed msg
+  | exception Vmem.Enclave_oom _ -> Crashed "enclave out of memory"
+  | exception Violation v -> Crashed (Fmt.str "%a" pp_violation v)
+
 (** Run one (workload, scheme, environment) cell on a fresh machine.
     [tel] (default: disabled) collects spans, EPC events and access-cost
     histograms for the run; the workload body executes inside a
@@ -103,38 +134,44 @@ let run_one ?tel ?wrap ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
   let s = match wrap with None -> s | Some f -> f s in
   let ctx = Sb_workloads.Wctx.make ~threads s in
   let workload = w.Sb_workloads.Registry.name in
-  let collect () =
-    let snap = Memsys.snapshot ms in
-    {
-      cycles = snap.Memsys.cycles;
-      instrs = snap.Memsys.instrs;
-      mem_accesses = snap.Memsys.mem_accesses;
-      llc_misses = snap.Memsys.llc_misses;
-      epc_faults = snap.Memsys.epc_faults;
-      epc_evictions = Memsys.epc_evictions ms;
-      peak_vm = Vmem.peak_reserved_bytes (Memsys.vmem ms);
-      bts = s.Scheme.extras.bts_allocated;
-      quarantine = s.Scheme.extras.quarantine_bytes;
-      attribution = Memsys.attribution ms;
-      compute_cycles = Memsys.compute_cycles ms;
-      cache = Memsys.cache_stats ms;
-      checks_done = s.Scheme.extras.checks_done;
-      checks_elided = s.Scheme.extras.checks_elided;
-      checks_hoisted = s.Scheme.extras.checks_hoisted;
-      violations = s.Scheme.extras.violations;
-    }
-  in
   let outcome =
-    match
-      Telemetry.with_span tel ("run:" ^ workload ^ "/" ^ scheme) (fun () ->
-          w.Sb_workloads.Registry.run ctx ~n)
-    with
-    | () -> Completed (collect ())
-    | exception App_crash msg -> Crashed msg
-    | exception Vmem.Enclave_oom _ -> Crashed "enclave out of memory"
-    | exception Violation v -> Crashed (Fmt.str "%a" pp_violation v)
+    run_body
+      (fun () ->
+         Telemetry.with_span tel ("run:" ^ workload ^ "/" ^ scheme) (fun () ->
+             w.Sb_workloads.Registry.run ctx ~n))
+      (fun () -> collect_metrics ms s)
   in
   { scheme; workload; n; threads; env; outcome }
+
+(** Run one cell with a site-attributed profiler: the machine's charge
+    stream is routed into a fresh {!Sb_telemetry.Profile.t}
+    ({!Sb_sgx.Memsys.attach_profiler}), the scheme is wrapped so every
+    scheme operation is an "op:<name>" site
+    ({!Sb_protection.Profiled.wrap}), scheme construction runs under
+    "setup" and the workload body under "run". The hook only observes:
+    simulated metrics equal {!run_one}'s for the same cell. Returns the
+    result together with the filled profiler. *)
+let run_profiled ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
+    (w : Sb_workloads.Registry.spec) =
+  let n = Option.value n ~default:w.Sb_workloads.Registry.default_n in
+  let cfg = Config.default ~env () in
+  let ms = Memsys.create cfg in
+  let prof =
+    Profile.create ~max_threads:cfg.Config.max_threads ~buckets:Memsys.profile_buckets ()
+  in
+  Memsys.attach_profiler ms prof;
+  let site_setup = Profile.intern prof "setup" in
+  let site_run = Profile.intern prof "run" in
+  let s = Profile.with_site prof site_setup (fun () -> maker scheme ms) in
+  let ctx = Sb_workloads.Wctx.make ~threads (Sb_protection.Profiled.wrap prof s) in
+  let workload = w.Sb_workloads.Registry.name in
+  let outcome =
+    run_body
+      (fun () ->
+         Profile.with_site prof site_run (fun () -> w.Sb_workloads.Registry.run ctx ~n))
+      (fun () -> collect_metrics ms s)
+  in
+  ({ scheme; workload; n; threads; env; outcome }, prof)
 
 let metrics_exn r =
   match r.outcome with

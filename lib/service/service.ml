@@ -64,11 +64,17 @@ let drop_ratio st =
 
 let summary st = Latency.summary st.latency
 
-(** [run ms cfg handler] drives [handler ~worker] once per served
+(** [run ?trace ms cfg handler] drives [handler ~worker] once per served
     request. The handler runs on the worker's Mt thread and is expected
     to advance that thread's simulated clock (memory traffic, ALU work,
-    SCONE calls); it yields implicitly through [Memsys.maybe_yield]. *)
-let run ms cfg handler =
+    SCONE calls); it yields implicitly through [Memsys.maybe_yield].
+
+    With [trace], every served request is recorded as a {!Spans.span}
+    (arrival → dequeue → completion, exec-window cycles split by memsys
+    class via the machine's charge hook) into the caller's log; the
+    slowest-K reservoir survives the run for export. Tracing only
+    observes: simulated stats are identical with and without it. *)
+let run ?trace ms cfg handler =
   if cfg.workers < 1 then invalid_arg "Service.run: workers must be >= 1";
   if cfg.queue_cap < 1 then invalid_arg "Service.run: queue_cap must be >= 1";
   let rng = Rng.create cfg.seed in
@@ -85,7 +91,8 @@ let run ms cfg handler =
   let queue_wait = Histogram.create "service.queue_wait" in
   (* Admission control: pull every arrival whose timestamp has passed
      into the accept queue; a full queue sheds (drop + count) instead of
-     blocking the accept loop. *)
+     blocking the accept loop. Elements are (arrival index, arrival
+     time) so a traced run can name the request in its span. *)
   let admit now =
     while !next < cfg.requests && base + arr.(!next) <= now do
       if Queue.length q >= cfg.queue_cap then begin
@@ -93,7 +100,7 @@ let run ms cfg handler =
         Telemetry.incr tel "service.dropped"
       end
       else begin
-        Queue.add (base + arr.(!next)) q;
+        Queue.add (!next, base + arr.(!next)) q;
         if Queue.length q > !max_queue then max_queue := Queue.length q
       end;
       incr next
@@ -105,11 +112,17 @@ let run ms cfg handler =
       let now = Memsys.get_clock ms tid in
       admit now;
       match Queue.take_opt q with
-      | Some arrived ->
+      | Some (id, arrived) ->
         Histogram.observe queue_wait (now - arrived);
+        (match trace with
+         | Some log -> Spans.begin_exec log ~worker:w
+         | None -> ());
         handler ~worker:w;
         let fin = Memsys.get_clock ms (Memsys.current_thread ms) in
         Histogram.observe latency (fin - arrived);
+        (match trace with
+         | Some log -> Spans.finish log ~id ~worker:w ~arrival:arrived ~dequeue:now ~fin
+         | None -> ());
         incr completed;
         Telemetry.incr tel "service.completed";
         Mt.yield ();
@@ -126,7 +139,15 @@ let run ms cfg handler =
     in
     loop ()
   in
+  (match trace with
+   | Some log ->
+     Memsys.set_charge_hook ms
+       (Some (Spans.charge_hook log (fun () -> Memsys.current_thread ms)))
+   | None -> ());
   Mt.run ms (Array.init cfg.workers (fun w -> worker w));
+  (match trace with
+   | Some _ -> Memsys.set_charge_hook ms None
+   | None -> ());
   (* Mt.run leaves thread 0 at the max clock over the region *)
   let elapsed = Memsys.get_clock ms 0 - base in
   {

@@ -90,7 +90,18 @@ type t = {
      each access individually. *)
   mutable pend_k : int;
   mutable pend_ci : int;
-  batch : bool;
+  (* Disabled (false) while a profiler is attached: the profiler needs
+     every charge delivered at the site where it happens, and a batch
+     flushed later would land on whatever site is then current. Batching
+     is stats-invariant, so toggling it never changes simulated
+     metrics. *)
+  mutable batch : bool;
+  (* Site-attributed profiling hook ({!attach_profiler}): called with
+     (bucket, cost) for every charge — bucket is the access class index,
+     or [n_classes] for unclassed compute. One predicted branch when
+     detached. *)
+  mutable profiling : bool;
+  mutable prof : int -> int -> unit;
 }
 
 
@@ -151,6 +162,8 @@ let create ?tel (cfg : Config.t) =
       pend_k = 0;
       pend_ci = 0;
       batch = fast && not (Telemetry.is_enabled tel);
+      profiling = false;
+      prof = (fun _ _ -> ());
     }
   in
   Telemetry.set_clock tel (fun () -> t.clocks.(t.tid));
@@ -198,6 +211,7 @@ let charge_access t ci cost =
   t.cls_cycles.(ci) <- t.cls_cycles.(ci) + cost;
   t.clocks.(t.tid) <- t.clocks.(t.tid) + cost;
   t.observe ci cost;
+  if t.profiling then t.prof ci cost;
   maybe_yield t
 
 (* Apply a pending same-line streak: [pend_k] accesses, each an L1 hit
@@ -300,10 +314,13 @@ let charge_alu ?cls t n =
   t.instrs <- t.instrs + n;
   let c = n * t.cfg.costs.alu in
   (match cls with
-   | None -> t.compute_cycles <- t.compute_cycles + c
+   | None ->
+     t.compute_cycles <- t.compute_cycles + c;
+     if t.profiling then t.prof n_classes c
    | Some cl ->
      let ci = class_index cl in
-     t.cls_cycles.(ci) <- t.cls_cycles.(ci) + c);
+     t.cls_cycles.(ci) <- t.cls_cycles.(ci) + c;
+     if t.profiling then t.prof ci c);
   t.clocks.(t.tid) <- t.clocks.(t.tid) + c
 
 let set_thread t tid =
@@ -370,6 +387,34 @@ let reset t =
 let epc_faults t = match t.epc with None -> 0 | Some e -> Epc.faults e
 let epc_evictions t = match t.epc with None -> 0 | Some e -> Epc.evictions e
 let llc_misses t = Hierarchy.llc_misses t.hier
+
+(* ---------- site-attributed profiling ---------- *)
+
+module Profile = Sb_telemetry.Profile
+
+let profile_buckets =
+  Array.of_list (List.map class_name all_classes @ [ "compute" ])
+
+let set_charge_hook t hook =
+  flush_pending t;
+  match hook with
+  | Some h ->
+    t.prof <- h;
+    t.profiling <- true;
+    t.batch <- false
+  | None ->
+    t.profiling <- false;
+    t.prof <- (fun _ _ -> ());
+    t.batch <- t.fast && not (Telemetry.is_enabled t.tel)
+
+let attach_profiler t p =
+  if Array.length (Profile.bucket_names p) <> n_classes + 1 then
+    invalid_arg "Memsys.attach_profiler: profiler buckets must be profile_buckets";
+  Profile.ensure_threads p t.cfg.Config.max_threads;
+  Profile.set_tid p (fun () -> t.tid);
+  set_charge_hook t (Some (Profile.charge p))
+
+let detach_profiler t = set_charge_hook t None
 
 let retire t =
   (match t.epc with None -> () | Some e -> Epc.retire e);

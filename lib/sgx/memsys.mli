@@ -127,6 +127,33 @@ val epc_faults : t -> int
 val epc_evictions : t -> int
 val llc_misses : t -> int
 
+(** {2 Site-attributed profiling}
+
+    A {!Sb_telemetry.Profile.t} attached to the machine receives every
+    charge as (bucket, cost) where bucket indexes {!profile_buckets} —
+    the access classes in [all_classes] order, then ["compute"] for
+    unclassed ALU work. Attaching disables the fast engine's same-line
+    batching (stats-invariant — simulated metrics are bit-identical) so
+    charges land at the site where they happen; detaching restores it.
+    Detached cost is one predicted branch per charge. *)
+
+(** Bucket labels a profiler for this machine must be created with:
+    class names in [all_classes] order, then ["compute"]. *)
+val profile_buckets : string array
+
+(** Install (or remove, with [None]) the raw charge hook: called with
+    (bucket, cost) for every charge, bucket indexing {!profile_buckets}.
+    {!attach_profiler} and the service layer's request spans are built
+    on this. The hook must only observe. *)
+val set_charge_hook : t -> (int -> int -> unit) option -> unit
+
+(** Point the machine's charge stream and the profiler's thread-id
+    closure at each other. Raises [Invalid_argument] if the profiler's
+    bucket count does not match {!profile_buckets}. *)
+val attach_profiler : t -> Sb_telemetry.Profile.t -> unit
+
+val detach_profiler : t -> unit
+
 (** Tear the machine down and recycle its big flat arrays (Vmem page
     array, EPC residency table) through shared pools, making the next
     [create] cheap. The machine must not be used afterwards. Read any

@@ -1,0 +1,311 @@
+(** Site-attributed profiler: where do the simulated cycles go, per site?
+
+    A *site* is a named region pushed by instrumented code — a scheme
+    hook ("op:load"), an app handler ("request"), a workload phase. Sites
+    nest into a call tree (one shared tree, one stack per simulated
+    thread), and every cycle the memory system charges while a site is
+    on top of its thread's stack lands in that tree node's *self*
+    buckets, split by the charger's cost bucket (the {!Sb_sgx.Memsys}
+    access classes plus "compute"). Self cycles over the whole tree
+    therefore re-add exactly to the cycles charged while the profiler
+    was attached — the conservation law the tests pin.
+
+    The module is generic: it knows nothing about the memory system. The
+    bucket labels arrive at {!create}; charges arrive through {!charge}
+    from whatever hook the owner installed (see
+    [Sb_sgx.Memsys.attach_profiler]); the thread id comes from the
+    [tid] closure set by the same owner. Everything is deterministic:
+    node ids are creation-ordered, report rows are sorted by path, and
+    no wall clock is ever read. *)
+
+type node = {
+  site : int;                  (* interned site id; -1 for the root *)
+  parent : node option;
+  mutable children : node list;  (* newest first; resorted at report time *)
+  buckets : int array;         (* self cycles per bucket *)
+  mutable self : int;          (* sum over buckets *)
+  mutable charges : int;       (* charge events landed here *)
+  mutable calls : int;         (* times entered *)
+}
+
+type t = {
+  bucket_names : string array;
+  mutable site_names : string array;   (* id -> name *)
+  mutable nsites : int;
+  site_ids : (string, int) Hashtbl.t;
+  root : node;
+  mutable tops : node array;           (* per-thread stack top; pop = parent *)
+  mutable tid : unit -> int;
+}
+
+let nbuckets t = Array.length t.bucket_names
+let bucket_names t = t.bucket_names
+
+let new_node t ~site ~parent =
+  { site; parent; children = []; buckets = Array.make (nbuckets t) 0;
+    self = 0; charges = 0; calls = 0 }
+
+let create ?(max_threads = 64) ~buckets () =
+  if Array.length buckets = 0 then invalid_arg "Profile.create: no buckets";
+  let t =
+    {
+      bucket_names = Array.copy buckets;
+      site_names = Array.make 16 "";
+      nsites = 0;
+      site_ids = Hashtbl.create 64;
+      root =
+        { site = -1; parent = None; children = [];
+          buckets = Array.make (Array.length buckets) 0;
+          self = 0; charges = 0; calls = 0 };
+      tops = [||];
+      tid = (fun () -> 0);
+    }
+  in
+  t.tops <- Array.make (max 1 max_threads) t.root;
+  t
+
+let set_tid t f = t.tid <- f
+
+(** Grow the per-thread stack array to at least [n] slots (new slots
+    start at the root). Attaching owners call this with the machine's
+    hardware thread count. *)
+let ensure_threads t n =
+  let cur = Array.length t.tops in
+  if n > cur then begin
+    let tops = Array.make n t.root in
+    Array.blit t.tops 0 tops 0 cur;
+    t.tops <- tops
+  end
+
+(** Intern [name], returning its stable site id (creation-ordered). *)
+let intern t name =
+  match Hashtbl.find_opt t.site_ids name with
+  | Some id -> id
+  | None ->
+    let id = t.nsites in
+    if id = Array.length t.site_names then begin
+      let grown = Array.make (2 * id) "" in
+      Array.blit t.site_names 0 grown 0 id;
+      t.site_names <- grown
+    end;
+    t.site_names.(id) <- name;
+    t.nsites <- id + 1;
+    Hashtbl.replace t.site_ids name id;
+    id
+
+let site_name t id = if id < 0 then "(root)" else t.site_names.(id)
+
+(* ---------- the hot path: enter / exit / charge ---------- *)
+
+let rec find_child cs site =
+  match cs with
+  | [] -> None
+  | c :: rest -> if c.site = site then Some c else find_child rest site
+
+(** Push site [id] on the current thread's stack: descend to (or
+    create) the child of the current node for this site. *)
+let enter t id =
+  let tid = t.tid () in
+  let top = t.tops.(tid) in
+  let child =
+    match find_child top.children id with
+    | Some c -> c
+    | None ->
+      let c = new_node t ~site:id ~parent:(Some top) in
+      top.children <- c :: top.children;
+      c
+  in
+  child.calls <- child.calls + 1;
+  t.tops.(tid) <- child
+
+(** Pop the current thread's stack. Popping at the root is ignored, so
+    unbalanced exits cannot corrupt the tree. *)
+let exit t =
+  let tid = t.tid () in
+  match (t.tops.(tid)).parent with
+  | Some p -> t.tops.(tid) <- p
+  | None -> ()
+
+(** Run [f] inside site [id]; the site is popped even if [f] raises. *)
+let with_site t id f =
+  enter t id;
+  match f () with
+  | v ->
+    exit t;
+    v
+  | exception e ->
+    exit t;
+    raise e
+
+(** Charge [cost] cycles in [bucket] to the current site of the current
+    thread. This is the closure the memory system calls per access when
+    a profiler is attached. *)
+let charge t bucket cost =
+  let nd = t.tops.(t.tid ()) in
+  nd.buckets.(bucket) <- nd.buckets.(bucket) + cost;
+  nd.self <- nd.self + cost;
+  nd.charges <- nd.charges + 1
+
+(* ---------- reports ---------- *)
+
+type row = {
+  r_path : string list;   (* site names, outermost first; [] = root *)
+  r_self : int;           (* cycles charged directly to this site *)
+  r_incl : int;           (* self + all descendants *)
+  r_buckets : int array;
+  r_charges : int;
+  r_calls : int;
+}
+
+let sorted_children nd =
+  List.sort (fun a b -> compare a.site b.site) nd.children
+
+let rec inclusive nd =
+  List.fold_left (fun acc c -> acc + inclusive c) nd.self nd.children
+
+(** Every node with any activity, depth-first in site-id order. The
+    root row (empty path) carries the cycles charged outside any
+    site. *)
+let rows t =
+  let acc = ref [] in
+  let rec go path nd =
+    let incl = inclusive nd in
+    if incl > 0 || nd.calls > 0 then
+      acc :=
+        {
+          r_path = List.rev path;
+          r_self = nd.self;
+          r_incl = incl;
+          r_buckets = Array.copy nd.buckets;
+          r_charges = nd.charges;
+          r_calls = nd.calls;
+        }
+        :: !acc;
+    List.iter (fun c -> go (site_name t c.site :: path) c) (sorted_children nd)
+  in
+  go [] t.root;
+  List.rev !acc
+
+(** Total cycles observed: the conservation-law counterpart of the
+    charges the owner routed here while attached. *)
+let total t = inclusive t.root
+
+(* ---------- collapsed stacks (flamegraph folded format) ---------- *)
+
+(** One line per site with self cycles, [root_label;site;site count] —
+    the folded format flamegraph.pl and speedscope ingest. [label]
+    names the whole run (e.g. "kmeans/sgxbounds"). *)
+let to_collapsed ?(label = "all") t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+       if r.r_self > 0 then begin
+         Buffer.add_string b (String.concat ";" (label :: r.r_path));
+         Buffer.add_char b ' ';
+         Buffer.add_string b (string_of_int r.r_self);
+         Buffer.add_char b '\n'
+       end)
+    (rows t);
+  Buffer.contents b
+
+(* ---------- differential profiles ---------- *)
+
+type delta = {
+  d_path : string list;
+  d_a : int;               (* self cycles under profile A *)
+  d_b : int;               (* self cycles under profile B *)
+  d_buckets : int array;   (* per-bucket self delta, B - A *)
+}
+
+let d_delta d = d.d_b - d.d_a
+
+(** Per-site self-cycle deltas between two profiles with the same
+    bucket set, keyed by site path (site ids need not match). Sorted by
+    descending delta (B's extra cycles first), ties by path — fully
+    deterministic. Paths present in only one profile count as zero in
+    the other. *)
+let diff a b =
+  if a.bucket_names <> b.bucket_names then
+    invalid_arg "Profile.diff: bucket sets differ";
+  let tbl = Hashtbl.create 64 in
+  let feed sign t =
+    List.iter
+      (fun r ->
+         if r.r_self > 0 || r.r_charges > 0 then begin
+           let key = String.concat ";" r.r_path in
+           let d =
+             match Hashtbl.find_opt tbl key with
+             | Some d -> d
+             | None ->
+               let d =
+                 { d_path = r.r_path; d_a = 0; d_b = 0;
+                   d_buckets = Array.make (nbuckets t) 0 }
+               in
+               Hashtbl.replace tbl key d;
+               d
+           in
+           let d =
+             if sign < 0 then { d with d_a = d.d_a + r.r_self }
+             else { d with d_b = d.d_b + r.r_self }
+           in
+           Array.iteri
+             (fun i v -> d.d_buckets.(i) <- d.d_buckets.(i) + (sign * v))
+             r.r_buckets;
+           Hashtbl.replace tbl key d
+         end)
+      (rows t)
+  in
+  feed (-1) a;
+  feed 1 b;
+  Hashtbl.fold (fun _ d acc -> d :: acc) tbl []
+  |> List.sort (fun x y ->
+      match compare (d_delta y) (d_delta x) with
+      | 0 -> compare x.d_path y.d_path
+      | c -> c)
+
+(* ---------- JSON export ---------- *)
+
+let json_of_buckets names arr =
+  Json.Obj (Array.to_list (Array.mapi (fun i n -> (n, Json.Int arr.(i))) names))
+
+let to_json ?(label = "all") t =
+  Json.Obj
+    [
+      ("label", Json.Str label);
+      ("total_cycles", Json.Int (total t));
+      ("buckets", Json.List (Array.to_list (Array.map (fun n -> Json.Str n) t.bucket_names)));
+      ( "sites",
+        Json.List
+          (List.map
+             (fun r ->
+                Json.Obj
+                  [
+                    ("path", Json.Str (String.concat ";" r.r_path));
+                    ("self_cycles", Json.Int r.r_self);
+                    ("inclusive_cycles", Json.Int r.r_incl);
+                    ("charges", Json.Int r.r_charges);
+                    ("calls", Json.Int r.r_calls);
+                    ("by_bucket", json_of_buckets t.bucket_names r.r_buckets);
+                  ])
+             (rows t)) );
+    ]
+
+let diff_to_json ~a_label ~b_label a ds =
+  Json.Obj
+    [
+      ("a", Json.Str a_label);
+      ("b", Json.Str b_label);
+      ( "sites",
+        Json.List
+          (List.map
+             (fun d ->
+                Json.Obj
+                  [
+                    ("path", Json.Str (String.concat ";" d.d_path));
+                    ("a_cycles", Json.Int d.d_a);
+                    ("b_cycles", Json.Int d.d_b);
+                    ("delta", Json.Int (d_delta d));
+                    ("by_bucket", json_of_buckets a.bucket_names d.d_buckets);
+                  ])
+             ds) );
+    ]

@@ -29,4 +29,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("ripe-golden", Test_ripe_golden.suite);
       ("sink-golden", Test_sink_golden.suite);
+      ("profile", Test_profile.suite);
     ]
