@@ -288,10 +288,20 @@ let validate_bench_cmd =
         | Some _ -> die "%s: key %S is not a string" file k
         | None -> die "%s: missing key %S" file k
       in
+      (* The engine key names which memory engine produced the numbers;
+         only the three engines the simulator actually has are valid. *)
+      let engine () =
+        str "engine";
+        match Json.member "engine" j with
+        | Some (Json.Str ("naive" | "fast" | "trace")) -> ()
+        | Some (Json.Str e) ->
+          die "%s: unknown engine %S (expected naive, fast or trace)" file e
+        | _ -> assert false
+      in
       (match Json.member "bench" j with
        | Some (Json.Str "score") ->
          (* `bench score' document: deterministic per-kernel scores + trend *)
-         str "engine";
+         engine ();
          num "score_total";
          (match Json.member "kernels" j with
           | Some (Json.List (_ :: _ as ks)) ->
@@ -310,18 +320,32 @@ let validate_bench_cmd =
          (* `bench throughput' document (v1 files have no "bench" key) *)
          num "sim_maps";
          num "speedup_vs_naive";
-         let v2 =
-           match Json.member "version" j with
-           | Some (Json.Int v) -> v >= 2
-           | _ -> false
+         let version =
+           match Json.member "version" j with Some (Json.Int v) -> v | _ -> 1
          in
-         if v2 then begin
-           str "engine";
+         if version >= 2 then begin
+           engine ();
            num "score_total";
            num "jobs_effective"
          end;
-         Fmt.pr "%s: valid throughput document%s@." file
-           (if v2 then " (v2: engine, score_total, jobs_effective present)" else "")
+         (* v3 adds the trace engine and the tri-engine agreement proof *)
+         if version >= 3 then begin
+           num "trace_maps";
+           num "speedup_trace_vs_naive";
+           num "host_cores";
+           (match Json.member "agreement" j with
+            | Some (Json.Obj _ as a) ->
+              (match Json.member "fingerprint" a with
+               | Some (Json.Str _) -> ()
+               | _ -> die "%s: \"agreement\" lacks a fingerprint string" file)
+            | Some _ -> die "%s: \"agreement\" is not an object" file
+            | None -> die "%s: missing key \"agreement\"" file)
+         end;
+         Fmt.pr "%s: valid throughput document (v%d%s)@." file version
+           (match version with
+            | v when v >= 3 -> ": engine, trace_maps, agreement present"
+            | 2 -> ": engine, score_total, jobs_effective present"
+            | _ -> "")
        | Some (Json.Str b) -> die "%s: unknown bench kind %S" file b
        | Some _ -> die "%s: \"bench\" key is not a string" file)
   in
@@ -369,7 +393,7 @@ let fuzz_cmd =
     let report = Fuzz.campaign ~specs ~params ~progress ~shrink ~seed ~iters () in
     match report.Fuzz.rp_counterexample with
     | None ->
-      Fmt.pr "fuzz: %d traces (%d events) x %d schemes x 2 engines: all invariants held \
+      Fmt.pr "fuzz: %d traces (%d events) x %d schemes x 3 engines: all invariants held \
               (seed %d)@."
         report.Fuzz.rp_ran report.Fuzz.rp_events (List.length report.Fuzz.rp_schemes) seed
     | Some cx ->

@@ -11,18 +11,27 @@ dune build
 echo "== dune build --profile release"
 dune build --profile release
 
-echo "== dune runtest"
+echo "== dune runtest (default = fast memory engine)"
 dune runtest
 
 echo "== dune runtest (naive memory engine)"
-SGXBOUNDS_NAIVE=1 dune runtest --force
+SGXBOUNDS_ENGINE=naive dune runtest --force
+
+echo "== dune runtest (trace memory engine)"
+SGXBOUNDS_ENGINE=trace dune runtest --force
 
 CLI="_build/default/bin/sgxbounds_cli.exe"
 
-echo "== fuzz smoke: 500 traces x all schemes x both engines"
+echo "== fuzz smoke: 500 traces x all schemes x three engines"
 # Deterministic in the seed; on failure the CLI prints the shrunk
-# counterexample and the exact replay command.
+# counterexample and the exact replay command. Each trace is replayed
+# under naive, fast and trace engines and the records compared.
 "$CLI" fuzz --seed 1 --iters 500 -q
+
+echo "== fuzz smoke: 500 traces with the trace engine ambient"
+# Same tri-engine oracle, but every component created outside an
+# explicit engine pin (oracle planning, shrinking) also runs traced.
+SGXBOUNDS_ENGINE=trace "$CLI" fuzz --seed 7 --iters 500 -q
 
 echo "== CLI smoke: run -w kmeans -s sgxbounds --stats --json"
 out=$("$CLI" run -w kmeans -s sgxbounds --stats --json)
@@ -134,16 +143,43 @@ _build/default/bench/main.exe --smoke --baseline BENCH_PR6.json \
 # the score is simulated-work based: consecutive runs must be bit-identical
 cmp "$score_a" "$score_b"
 "$CLI" validate-bench "$score_a"
-# a deliberate slowdown (env-injected extra allocation) must trip the gate
+# the gate is two-sided: a deliberate slowdown (env-injected extra
+# allocation) and a deliberate too-good-to-be-true improvement (deflated
+# measurement = stale baseline) must both trip it
 if SGXBOUNDS_SCORE_PERTURB=100 _build/default/bench/main.exe --smoke \
      --baseline BENCH_PR6.json --out "$score_a" score >/dev/null 2>&1; then
   echo "score gate failed to catch a deliberate slowdown" >&2
+  exit 1
+fi
+if SGXBOUNDS_SCORE_PERTURB=-50 _build/default/bench/main.exe --smoke \
+     --baseline BENCH_PR6.json --out "$score_a" score >/dev/null 2>&1; then
+  echo "score gate failed to catch a deliberate improvement" >&2
+  exit 1
+fi
+
+echo "== bench score: gate catches both perturb directions under the trace engine"
+# The committed baseline is measured under the default engine; the gate
+# refuses cross-engine comparison, so the trace-engine proof gates
+# against a fresh trace-engine baseline.
+SGXBOUNDS_ENGINE=trace _build/default/bench/main.exe --smoke \
+  --out "$score_a" score >/dev/null
+SGXBOUNDS_ENGINE=trace _build/default/bench/main.exe --smoke \
+  --baseline "$score_a" --out "$score_b" score >/dev/null
+if SGXBOUNDS_ENGINE=trace SGXBOUNDS_SCORE_PERTURB=100 _build/default/bench/main.exe \
+     --smoke --baseline "$score_a" --out "$score_b" score >/dev/null 2>&1; then
+  echo "trace-engine score gate failed to catch a deliberate slowdown" >&2
+  exit 1
+fi
+if SGXBOUNDS_ENGINE=trace SGXBOUNDS_SCORE_PERTURB=-50 _build/default/bench/main.exe \
+     --smoke --baseline "$score_a" --out "$score_b" score >/dev/null 2>&1; then
+  echo "trace-engine score gate failed to catch a deliberate improvement" >&2
   exit 1
 fi
 
 echo "== committed bench documents validate"
 "$CLI" validate-bench BENCH_PR2.json
 "$CLI" validate-bench BENCH_PR6.json
+"$CLI" validate-bench BENCH_PR7.json
 
 echo "== audit selftest: seeded race + annotation mutants"
 "$CLI" analyze --selftest >/dev/null

@@ -1,12 +1,17 @@
 (** The differential fuzz driver.
 
     For every generated trace, [check_trace] replays the oracle's plan
-    through every scheme under {e both} memory engines and checks three
+    through every scheme under {e all three} memory engines — naive,
+    fast, and the superblock-fusing trace engine — and checks three
     invariants:
 
-    + {b Engines agree bit-for-bit}: the fast and naive engines produce
-      structurally equal {!Replay.run} records — same stop, same read
-      values, same cycle/instruction/check counters.
+    + {b Engines agree bit-for-bit}: the fast and trace engines each
+      produce a {!Replay.run} record structurally equal to the naive
+      engine's — same stop, same read values, same
+      cycle/instruction/check counters. Fault-injection traces are the
+      sharp edge here: a violation or page fault landing mid-superblock
+      must observe exactly the accounting the interpreter would have
+      accumulated access by access.
     + {b Zero false positives}: no scheme stops (violation {e or}
       crash) before the oracle's first unsafe event; on an oracle-safe
       trace nothing stops and boundless mode counts zero violations.
@@ -90,33 +95,43 @@ let check_trace ?specs (trace : Trace.t) : failure option =
   let fail sp_name f_kind f_event f_detail =
     Some { f_scheme = sp_name; f_kind; f_event; f_detail }
   in
-  (* Invariant 1: fast == naive, per scheme. *)
+  (* Invariant 1: fast == naive and trace == naive, per scheme. *)
   let runs =
     List.map
       (fun sp ->
-         let fast = Replay.run_engine ~fast:true ~maker:sp.sp_maker ~plan trace in
-         let naive = Replay.run_engine ~fast:false ~maker:sp.sp_maker ~plan trace in
-         (sp, fast, naive))
+         let naive =
+           Replay.run_engine ~kind:Sb_machine.Fastpath.Naive ~maker:sp.sp_maker ~plan trace
+         in
+         let fast =
+           Replay.run_engine ~kind:Sb_machine.Fastpath.Fast ~maker:sp.sp_maker ~plan trace
+         in
+         let tr =
+           Replay.run_engine ~kind:Sb_machine.Fastpath.Trace ~maker:sp.sp_maker ~plan trace
+         in
+         (sp, naive, fast, tr))
       specs
+  in
+  let mismatch_detail name (eng : Replay.run) (naive : Replay.run) =
+    if eng.Replay.stop <> naive.Replay.stop then
+      Format.asprintf "%s stop %a / naive stop %a" name
+        (Format.pp_print_option Replay.pp_stop) eng.Replay.stop
+        (Format.pp_print_option Replay.pp_stop) naive.Replay.stop
+    else if eng.Replay.reads <> naive.Replay.reads then
+      Printf.sprintf "%s read values differ" name
+    else
+      Printf.sprintf
+        "%s counters differ (cycles %d/%d, instrs %d/%d, checks %d/%d)"
+        name eng.Replay.cycles naive.Replay.cycles eng.Replay.instrs
+        naive.Replay.instrs eng.Replay.checks_done naive.Replay.checks_done
   in
   let engine_mismatch =
     List.find_map
-      (fun (sp, fast, naive) ->
-         if fast = naive then None
-         else
-           let detail =
-             if fast.Replay.stop <> naive.Replay.stop then
-               Format.asprintf "fast stop %a / naive stop %a"
-                 (Format.pp_print_option Replay.pp_stop) fast.Replay.stop
-                 (Format.pp_print_option Replay.pp_stop) naive.Replay.stop
-             else if fast.Replay.reads <> naive.Replay.reads then "read values differ"
-             else
-               Printf.sprintf
-                 "counters differ (cycles %d/%d, instrs %d/%d, checks %d/%d)"
-                 fast.Replay.cycles naive.Replay.cycles fast.Replay.instrs
-                 naive.Replay.instrs fast.Replay.checks_done naive.Replay.checks_done
-           in
-           fail sp.sp_name Engine_mismatch (-1) detail)
+      (fun (sp, naive, fast, tr) ->
+         if fast <> naive then
+           fail sp.sp_name Engine_mismatch (-1) (mismatch_detail "fast" fast naive)
+         else if tr <> naive then
+           fail sp.sp_name Engine_mismatch (-1) (mismatch_detail "trace" tr naive)
+         else None)
       runs
   in
   match engine_mismatch with
@@ -126,7 +141,7 @@ let check_trace ?specs (trace : Trace.t) : failure option =
     (* Invariant 2: zero false positives before the first unsafe event. *)
     let false_positive =
       List.find_map
-        (fun (sp, r, _) ->
+        (fun (sp, r, _, _) ->
            match r.Replay.stop with
            | Some st when st.Replay.at < fp_bound ->
              fail sp.sp_name False_positive st.Replay.at
@@ -147,7 +162,7 @@ let check_trace ?specs (trace : Trace.t) : failure option =
        (* Invariant 3: every in-contract violation is detected. *)
        let missed =
          List.find_map
-           (fun (sp, r, _) ->
+           (fun (sp, r, _, _) ->
               match Contract.first_covered ~scheme:sp.sp_name plan with
               | None -> None
               | Some c ->
@@ -172,9 +187,9 @@ let check_trace ?specs (trace : Trace.t) : failure option =
           (* Cross-scheme: instrumented reads of defined bytes agree. *)
           match runs with
           | [] | [ _ ] -> None
-          | (base_sp, base, _) :: rest ->
+          | (base_sp, base, _, _) :: rest ->
             List.find_map
-              (fun (sp, r, _) ->
+              (fun (sp, r, _, _) ->
                  let bad = ref None in
                  Array.iteri
                    (fun i d ->

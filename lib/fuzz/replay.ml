@@ -172,7 +172,9 @@ let run ~maker ~(plan : Oracle.plan) (trace : Trace.t) : run =
   Memsys.retire ms;
   r
 
-(** [run] with the memory engine pinned fast or naive for every
-    component the replay creates. *)
-let run_engine ~fast ~maker ~plan trace =
-  Sb_machine.Fastpath.with_engine fast (fun () -> run ~maker ~plan trace)
+(** [run] with the memory engine pinned to [kind] for every component
+    the replay creates — the fuzzer's tri-engine oracle replays each
+    (trace, plan, scheme) under naive, fast and trace and demands
+    structurally equal records. *)
+let run_engine ~kind ~maker ~plan trace =
+  Sb_machine.Fastpath.with_kind kind (fun () -> run ~maker ~plan trace)

@@ -1,4 +1,4 @@
-(** Small lock-free free-lists for expensive flat arrays.
+(** Small free-lists for expensive flat arrays.
 
     Creating a simulated machine allocates a handful of multi-megabyte
     arrays (the dense Vmem page table, the EPC residency table). Code
@@ -8,33 +8,67 @@
     [Pool.t] lets a machine's owner hand the arrays back ([Vmem.retire],
     [Epc.retire], [Memsys.retire]) so the next [create] reuses them.
 
-    The pool is a Treiber stack over an immutable list in an [Atomic],
-    so it is safe to share across domains (the parallel runner creates
-    machines concurrently). ABA is not a concern: cons cells are freshly
+    Recycling is two-level. Each domain keeps a small domain-local stash
+    (via [Domain.DLS]) that [put]/[get] hit first: the parallel runner's
+    domains each churn their own machines, so the common case touches no
+    shared state at all — no compare-and-set ping-pong between domains
+    recycling at the same time. The overflow/underflow level is a
+    Treiber stack over an immutable list in an [Atomic], safe to share
+    across domains. ABA is not a concern: cons cells are freshly
     allocated on every push, so a stale compare-and-set always fails.
-    The pool is bounded; when full, [put] drops the value on the floor
-    and lets the GC have it. Callers must only [put] values they have
-    re-initialised to the state [get]'s consumers expect — the pool
-    itself never inspects them. *)
 
-type 'a t = { items : 'a list Atomic.t; max : int }
+    Both levels are bounded; when full, [put] drops the value on the
+    floor and lets the GC have it (a domain-local stash also dies with
+    its domain). Callers must only [put] values they have re-initialised
+    to the state [get]'s consumers expect — the pool itself never
+    inspects them. *)
 
-let create ?(max = 8) () = { items = Atomic.make []; max }
+type 'a t = {
+  shared : 'a list Atomic.t;
+  max : int;
+  (* Per-domain stash. The DLS key is per-pool, so distinct pools never
+     share a stash. *)
+  local : 'a list ref Domain.DLS.key;
+  local_max : int;
+}
 
-let rec put t x =
-  let cur = Atomic.get t.items in
+let create ?(max = 8) () =
+  {
+    shared = Atomic.make [];
+    max;
+    local = Domain.DLS.new_key (fun () -> ref []);
+    local_max = 2;
+  }
+
+let rec put_shared t x =
+  let cur = Atomic.get t.shared in
   if List.length cur >= t.max then ()
-  else if not (Atomic.compare_and_set t.items cur (x :: cur)) then put t x
+  else if not (Atomic.compare_and_set t.shared cur (x :: cur)) then put_shared t x
+
+let put t x =
+  let stash = Domain.DLS.get t.local in
+  if List.length !stash < t.local_max then stash := x :: !stash
+  else put_shared t x
+
+let rec get_shared t ~validate mk =
+  match Atomic.get t.shared with
+  | [] -> mk ()
+  | x :: rest as cur ->
+    if Atomic.compare_and_set t.shared cur rest then
+      if validate x then x else get_shared t ~validate mk
+    else get_shared t ~validate mk
 
 (** [get t ~validate mk] pops a pooled value satisfying [validate]
     (non-conforming entries are discarded), or builds a fresh one with
     [mk]. *)
 let rec get t ~validate mk =
-  match Atomic.get t.items with
-  | [] -> mk ()
-  | x :: rest as cur ->
-    if Atomic.compare_and_set t.items cur rest then
-      if validate x then x else get t ~validate mk
-    else get t ~validate mk
+  let stash = Domain.DLS.get t.local in
+  match !stash with
+  | x :: rest ->
+    stash := rest;
+    if validate x then x else get t ~validate mk
+  | [] -> get_shared t ~validate mk
 
-let size t = List.length (Atomic.get t.items)
+(** Entries visible to the calling domain: its own stash plus the shared
+    level (other domains' stashes are invisible by design). *)
+let size t = List.length !(Domain.DLS.get t.local) + List.length (Atomic.get t.shared)

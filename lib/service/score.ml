@@ -22,10 +22,18 @@
     the document records its scale and {!gate} refuses a cross-scale
     comparison, exactly like an engine mismatch.
 
-    [SGXBOUNDS_SCORE_PERTURB=<pct>] inflates the measured allocation by
-    [pct] percent through real allocations inside the measured window —
-    the hook check.sh uses to prove the gate actually fails on a
-    deliberate slowdown. *)
+    The gate is two-sided: an unexplained {e improvement} beyond
+    tolerance fails just like a regression, because it means the
+    committed baseline no longer describes the build and must be
+    regenerated — silent drift in either direction erodes what the
+    gate can prove.
+
+    [SGXBOUNDS_SCORE_PERTURB=<pct>] perturbs the measured allocation by
+    [pct] percent — positive values through real allocations inside the
+    measured window (riding the same path a genuine regression would),
+    negative values by deflating the measured delta (drift injection; no
+    way to un-allocate). The hook check.sh uses to prove the gate fails
+    on deliberate movement in both directions. *)
 
 module Config = Sb_machine.Config
 module Fastpath = Sb_machine.Fastpath
@@ -50,7 +58,7 @@ type measurement = {
 
 let version = 1
 let word_bytes = Sys.word_size / 8
-let engine () = if Fastpath.is_enabled () then "fast" else "naive"
+let engine () = Fastpath.current_name ()
 
 (** [Gc.allocated_bytes]'s unit is not the same on every runtime (this
     one reports words); calibrate once against a known allocation — 64k
@@ -71,7 +79,7 @@ let perturb_pct () =
   match Sys.getenv_opt "SGXBOUNDS_SCORE_PERTURB" with
   | None -> 0
   | Some s -> (match int_of_string_opt (String.trim s) with
-               | Some v when v > 0 -> v
+               | Some v when v > -100 -> v
                | _ -> 0)
 
 let work s = max 1 (s.s_accesses + s.s_instrs)
@@ -102,7 +110,14 @@ let measure (name, f) =
     ignore (Sys.opaque_identity !sink)
   end;
   let after = Gc.allocated_bytes () in
-  let alloc_words = int_of_float ((after -. before) /. float_of_int upw) in
+  let measured = after -. before in
+  (* Negative perturbation deflates the measured delta arithmetically:
+     allocation cannot be taken back, and the hook only needs the gate
+     to see a too-good-to-be-true number. *)
+  let measured =
+    if p < 0 then measured *. (1. +. (float_of_int p /. 100.)) else measured
+  in
+  let alloc_words = int_of_float (measured /. float_of_int upw) in
   {
     m_kernel = name;
     m_accesses = sim.s_accesses;
@@ -273,6 +288,9 @@ type verdict = {
   v_old : int;
   v_new : int;
   v_regressed : bool;  (** new > old beyond tolerance (higher = worse) *)
+  v_improved : bool;
+      (** new < old beyond tolerance — also a gate failure: the
+          committed baseline is stale and must be regenerated *)
 }
 
 (** Compare a fresh run against a committed baseline document. Fails
@@ -322,6 +340,7 @@ let gate ~smoke ~tolerance_pct ~baseline ms =
                   v_old = old;
                   v_new = m.m_score;
                   v_regressed = m.m_score > old + slack;
+                  v_improved = m.m_score < old - slack;
                 })
              (old_of m.m_kernel))
         ms

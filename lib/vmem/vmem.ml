@@ -49,6 +49,14 @@ type t = {
      [unmap]; re-sentineling an already-unmapped page is harmless. *)
   mutable mapped_ranges : (int * int) list;
   fast : bool;
+  (* Remap notification ({!set_remap_hook}): called after any operation
+     that can change what an address resolves to or its writability —
+     [unmap], [protect], [retire]. The trace engine's fused data path
+     caches a page's backing bytes across accesses; this hook is how
+     that cache learns it must die. [map] never fires it: [map] only
+     ever claims sentinel (never-aliased) pages, so no cached window
+     can point into them. Zero cost on the access path. *)
+  mutable on_remap : unit -> unit;
 }
 
 (* Retired page arrays, all-sentinel by construction (see [retire]),
@@ -71,7 +79,10 @@ let create (cfg : Sb_machine.Config.t) =
     wr_page = sentinel;
     mapped_ranges = [];
     fast = Sb_machine.Fastpath.is_enabled ();
+    on_remap = ignore;
   }
+
+let set_remap_hook t f = t.on_remap <- f
 
 let reserved_bytes t = t.reserved
 let peak_reserved_bytes t = t.peak
@@ -145,11 +156,13 @@ let unmap t ~addr ~len =
       t.reserved <- t.reserved - page_size
     end
   done;
-  invalidate_memos t
+  invalidate_memos t;
+  t.on_remap ()
 
 let protect t ~addr ~len ~perm =
   let page0 = addr lsr page_shift and npages = pages_of_len len in
   invalidate_memos t;
+  t.on_remap ();
   for i = page0 to page0 + npages - 1 do
     let p = t.pages.(i) in
     if p == sentinel then fault (i lsl page_shift) Unmapped else p.perm <- perm
@@ -157,6 +170,7 @@ let protect t ~addr ~len ~perm =
 
 let retire t =
   if Array.length t.pages > 0 then begin
+    t.on_remap ();
     List.iter
       (fun (page0, npages) -> Array.fill t.pages page0 npages sentinel)
       t.mapped_ranges;
@@ -210,6 +224,18 @@ let get_page_wr t addr =
 
 let off addr = addr land (page_size - 1)
 
+(* Unsafe 16-bit native-order accessors for the fast codec below: the
+   enclosing [o + width <= page_size] test has already proven the span
+   in-bounds of the page's [page_size] backing bytes, so the runtime
+   bounds checks of [Bytes.get_uint16_le] are pure overhead. Byte order
+   is normalized to little-endian like the checked accessors. *)
+external get_16u : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external set_16u : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+
+let swap16 v = ((v land 0xff) lsl 8) lor (v lsr 8)
+let[@inline always] get16le b o = if Sys.big_endian then swap16 (get_16u b o) else get_16u b o
+let[@inline always] set16le b o v = set_16u b o (if Sys.big_endian then swap16 v else v)
+
 (* Slow byte-at-a-time paths for accesses that straddle a page. *)
 let load_bytes_slow t addr width =
   let v = ref 0 in
@@ -236,14 +262,14 @@ let load t ~addr ~width =
          the boxing Int32/Int64 primitives — value-identical (width 8
          keeps the low 62 bits, as Int64.to_int land max_int did). *)
       match width with
-      | 1 -> Bytes.get_uint8 p.data o
-      | 2 -> Bytes.get_uint16_le p.data o
-      | 4 -> Bytes.get_uint16_le p.data o lor (Bytes.get_uint16_le p.data (o + 2) lsl 16)
+      | 1 -> Bytes.unsafe_get p.data o |> Char.code
+      | 2 -> get16le p.data o
+      | 4 -> get16le p.data o lor (get16le p.data (o + 2) lsl 16)
       | 8 ->
-        (Bytes.get_uint16_le p.data o
-         lor (Bytes.get_uint16_le p.data (o + 2) lsl 16)
-         lor (Bytes.get_uint16_le p.data (o + 4) lsl 32)
-         lor (Bytes.get_uint16_le p.data (o + 6) lsl 48))
+        (get16le p.data o
+         lor (get16le p.data (o + 2) lsl 16)
+         lor (get16le p.data (o + 4) lsl 32)
+         lor (get16le p.data (o + 6) lsl 48))
         land max_int
       | _ -> invalid_arg "Vmem.load: width"
     else
@@ -264,16 +290,16 @@ let store t ~addr ~width v =
       (* Unboxed codec; the top chunk of width 8 uses [asr] so the sign
          bit replicates into bit 63 exactly like Int64.of_int did. *)
       match width with
-      | 1 -> Bytes.set_uint8 p.data o (v land 0xff)
-      | 2 -> Bytes.set_uint16_le p.data o (v land 0xffff)
+      | 1 -> Bytes.unsafe_set p.data o (Char.unsafe_chr (v land 0xff))
+      | 2 -> set16le p.data o (v land 0xffff)
       | 4 ->
-        Bytes.set_uint16_le p.data o (v land 0xffff);
-        Bytes.set_uint16_le p.data (o + 2) ((v lsr 16) land 0xffff)
+        set16le p.data o (v land 0xffff);
+        set16le p.data (o + 2) ((v lsr 16) land 0xffff)
       | 8 ->
-        Bytes.set_uint16_le p.data o (v land 0xffff);
-        Bytes.set_uint16_le p.data (o + 2) ((v lsr 16) land 0xffff);
-        Bytes.set_uint16_le p.data (o + 4) ((v lsr 32) land 0xffff);
-        Bytes.set_uint16_le p.data (o + 6) ((v asr 48) land 0xffff)
+        set16le p.data o (v land 0xffff);
+        set16le p.data (o + 2) ((v lsr 16) land 0xffff);
+        set16le p.data (o + 4) ((v lsr 32) land 0xffff);
+        set16le p.data (o + 6) ((v asr 48) land 0xffff)
       | _ -> invalid_arg "Vmem.store: width"
     else
       match width with
@@ -344,6 +370,20 @@ let read_string t ~addr ~len =
     Bytes.unsafe_to_string buf
   end
   else read_string_slow t ~addr ~len
+
+(* Trace-engine window: the backing bytes of the mapped page containing
+   [addr], plus its writability, or [None] for anything an access would
+   fault on. The caller caches the result across accesses; the
+   [set_remap_hook] callback is the invalidation protocol. *)
+let window t ~addr =
+  if addr < 0 || addr > addr_mask || Array.length t.pages = 0 then None
+  else begin
+    let p = Array.unsafe_get t.pages (addr lsr page_shift) in
+    match p.perm with
+    | Guard -> None
+    | Read_only -> Some (p.data, false)
+    | Read_write -> Some (p.data, true)
+  end
 
 let fill t ~addr ~len ~byte =
   let i = ref 0 in

@@ -25,6 +25,7 @@ let () =
       ("narrowing", Test_narrowing.suite);
       ("differential", Test_differential.suite);
       ("fastpath", Test_fastpath.suite);
+      ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
       ("analysis", Test_analysis.suite);
       ("ripe-golden", Test_ripe_golden.suite);
