@@ -268,11 +268,60 @@ let exploits_cmd =
     Term.(const run $ scheme_arg)
 
 let validate_bench_cmd =
+  (* results/fleet_capacity*.tsv: structural validation of the fleetcap
+     schema — identified by its header line, never parsed as JSON. *)
+  let validate_fleet_tsv file contents =
+    let header = Sb_service.Fleet.capacity_tsv_header in
+    let ncols = List.length (String.split_on_char '\t' header) in
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+    in
+    let rows = List.tl lines in
+    if rows = [] then die "%s: fleet_capacity file has no data rows" file;
+    let int_at what row v =
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | _ -> die "%s: row %d: %s %S is not a non-negative integer" file row what v
+    in
+    List.iteri
+      (fun i row ->
+         let r = i + 1 in
+         let cols = String.split_on_char '\t' row in
+         if List.length cols <> ncols then
+           die "%s: row %d has %d columns (expected %d)" file r (List.length cols) ncols;
+         let col n = List.nth cols n in
+         if String.trim (col 0) = "" then die "%s: row %d: empty scheme" file r;
+         if int_at "shards" r (col 1) < 1 then
+           die "%s: row %d: shards must be >= 1" file r;
+         ignore (int_at "records" r (col 4));
+         (match float_of_string_opt (col 5) with
+          | Some c when c >= 0. -> ()
+          | _ -> die "%s: row %d: capacity_kops %S is not a number" file r (col 5));
+         (match float_of_string_opt (col 6) with
+          | Some _ -> ()
+          | None -> die "%s: row %d: offered_rps %S is not a number" file r (col 6));
+         List.iteri
+           (fun j name -> ignore (int_at name r (col (7 + j))))
+           [ "completed"; "dropped"; "failed_over"; "lost"; "restarts";
+             "p50_cycles"; "p99_cycles" ];
+         let status = col 14 in
+         if status <> "ok" && not (String.length status >= 7 && String.sub status 0 7 = "crashed")
+         then die "%s: row %d: status %S is neither ok nor crashed" file r status)
+      rows;
+    Fmt.pr "%s: valid fleet_capacity table (%d rows, %d columns)@." file
+      (List.length rows) ncols
+  in
   let run file =
     let contents =
       try In_channel.with_open_bin file In_channel.input_all
       with Sys_error e -> die "cannot read %s: %s" file e
     in
+    let fleet_header = Sb_service.Fleet.capacity_tsv_header in
+    if
+      String.length contents >= String.length fleet_header
+      && String.sub contents 0 (String.length fleet_header) = fleet_header
+    then validate_fleet_tsv file contents
+    else
     match Json.parse contents with
     | Error msg -> die "%s: invalid JSON: %s" file msg
     | Ok j ->
@@ -357,7 +406,9 @@ let validate_bench_cmd =
        ~doc:"Validate a BENCH_*.json emitted by `bench/main.exe throughput' or `bench \
              score': must parse as JSON and carry the keys of its schema (throughput: \
              numeric sim_maps/speedup_vs_naive, plus engine/score_total/jobs_effective \
-             from v2; score: engine, score_total, per-kernel scores and a trend array).")
+             from v2; score: engine, score_total, per-kernel scores and a trend array). \
+             Also validates results/fleet_capacity*.tsv tables (recognised by their \
+             header line) structurally.")
     Term.(const run $ file_arg)
 
 let fuzz_cmd =
@@ -675,15 +726,172 @@ let serve_cmd =
   let module Sexp = Sb_service.Experiment in
   let module Latency = Sb_service.Latency in
   let module Spans = Sb_service.Spans in
-  let run app scheme rate workers queue requests process seed outside smoke spans trace json =
-    check_scheme scheme;
-    let app =
-      match Drivers.of_string app with
-      | Some a -> a
+  let module Fleet = Sb_service.Fleet in
+  let module Ycsb = Sb_service.Ycsb in
+  (* "--kill I@CYCLES[,I@CYCLES...]", repeatable *)
+  let parse_kills specs =
+    List.concat_map
+      (fun spec ->
+         List.filter_map
+           (fun part ->
+              let part = String.trim part in
+              if part = "" then None
+              else
+                match String.index_opt part '@' with
+                | Some i -> (
+                    try
+                      Some
+                        ( int_of_string (String.sub part 0 i),
+                          int_of_string
+                            (String.sub part (i + 1) (String.length part - i - 1)) )
+                    with Failure _ -> die "bad --kill spec '%s' (want I@CYCLES)" part)
+                | None -> die "bad --kill spec '%s' (want I@CYCLES)" part)
+           (String.split_on_char ',' spec))
+      specs
+  in
+  let run_fleet ~fleet ~scheme ~rate ~workers ~queue ~requests ~process ~seed
+      ~outside ~spans ~json ~policy ~ycsb ~dist ~records ~clients ~affinity ~kills =
+    let workload =
+      match Ycsb.of_string ycsb with
+      | Some w -> w
       | None ->
-        die "unknown app '%s'.@.Valid apps: %s" app
-          (String.concat ", " Drivers.app_names)
+        die "unknown YCSB workload '%s'.@.Valid workloads: %s" ycsb
+          (String.concat ", " Ycsb.workload_names)
     in
+    let dist =
+      Option.map
+        (fun d ->
+           match Ycsb.dist_of_string d with
+           | Some d -> d
+           | None -> die "unknown key distribution '%s' (uniform, zipfian, latest)" d)
+        dist
+    in
+    let policy =
+      match Fleet.policy_of_string policy with
+      | Some p -> p
+      | None ->
+        die "unknown policy '%s'.@.Valid policies: %s" policy
+          (String.concat ", " Fleet.policy_names)
+    in
+    if records < 1 then die "--records must be >= 1";
+    if clients < 1 then die "--clients must be >= 1";
+    let cfg =
+      {
+        Fleet.default with
+        Fleet.instances = fleet;
+        workers;
+        queue_cap = queue;
+        requests;
+        rate_rps = rate;
+        process;
+        seed;
+        scheme;
+        env = env_of outside;
+        policy;
+        affinity;
+        clients;
+        workload;
+        dist;
+        records;
+        kills;
+      }
+    in
+    match Fleet.run ?spans:(if json then Some spans else None) cfg with
+    | Error msg ->
+      if json then
+        Fmt.pr "%s@."
+          (Json.to_string
+             (Json.Obj
+                [ ("mode", Json.Str "fleet"); ("scheme", Json.Str scheme);
+                  ("status", Json.Str "crashed"); ("reason", Json.Str msg) ]));
+      die "serve --fleet %d ycsb-%s/%s crashed: %s" fleet (Ycsb.name workload)
+        scheme msg
+    | Ok st ->
+      let s = Fleet.summary st in
+      let qw = Latency.summary st.Fleet.queue_wait in
+      if json then
+        let inst_json (i : Fleet.inst_stats) =
+          let ls = Latency.summary i.Fleet.i_latency in
+          Json.Obj
+            ([
+               ("idx", Json.Int i.Fleet.i_idx);
+               ("completed", Json.Int i.Fleet.i_completed);
+               ("lost", Json.Int i.Fleet.i_lost);
+               ("restarts", Json.Int i.Fleet.i_restarts);
+               ("max_queue", Json.Int i.Fleet.i_max_queue);
+               ("latency_p99", Json.Int ls.Latency.p99);
+             ]
+             @
+             match i.Fleet.i_spans with
+             | Some log -> [ ("spans", Spans.to_json log) ]
+             | None -> [])
+        in
+        Fmt.pr "%s@."
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("mode", Json.Str "fleet");
+                  ("scheme", Json.Str scheme);
+                  ("env", Json.Str (Harness.env_name cfg.Fleet.env));
+                  ("policy", Json.Str (Fleet.policy_name policy));
+                  ("ycsb", Json.Str (Ycsb.name workload));
+                  ("process", Json.Str (Loadgen.to_string process));
+                  ("offered_rps", Json.Float rate);
+                  ("fleet", Json.Int fleet);
+                  ("workers", Json.Int workers);
+                  ("queue_cap", Json.Int queue);
+                  ("seed", Json.Int seed);
+                  ("records", Json.Int st.Fleet.records);
+                  ("offered", Json.Int st.Fleet.offered);
+                  ("completed", Json.Int st.Fleet.completed);
+                  ("dropped", Json.Int st.Fleet.dropped);
+                  ("failed_over", Json.Int st.Fleet.failed_over);
+                  ("lost", Json.Int st.Fleet.lost);
+                  ("restarts", Json.Int st.Fleet.restarts);
+                  ("elapsed_cycles", Json.Int st.Fleet.elapsed);
+                  ("throughput_rps", Json.Float (Fleet.throughput_rps st));
+                  ( "latency_cycles",
+                    Json.Obj
+                      [ ("p50", Json.Int s.Latency.p50); ("p95", Json.Int s.Latency.p95);
+                        ("p99", Json.Int s.Latency.p99); ("mean", Json.Float s.Latency.mean);
+                        ("max", Json.Int s.Latency.max) ] );
+                  ( "queue_wait_cycles",
+                    Json.Obj
+                      [ ("p50", Json.Int qw.Latency.p50); ("p99", Json.Int qw.Latency.p99) ] );
+                  ( "instances",
+                    Json.List (Array.to_list (Array.map inst_json st.Fleet.per_instance)) );
+                ]))
+      else begin
+        Fmt.pr
+          "fleet ycsb-%s/%s (%s): %d instances, policy %s%s, %s arrivals at %.0f rps, \
+           %d workers/instance, queue %d, seed %d@."
+          (Ycsb.name workload) scheme (Harness.env_name cfg.Fleet.env) fleet
+          (Fleet.policy_name policy)
+          (if affinity then " (affinity)" else "")
+          (Loadgen.to_string process) rate workers queue seed;
+        Fmt.pr
+          "offered %d  completed %d  dropped %d (%.1f%%)  failed over %d  lost %d  \
+           restarts %d@."
+          st.Fleet.offered st.Fleet.completed st.Fleet.dropped
+          (100. *. Fleet.drop_ratio st) st.Fleet.failed_over st.Fleet.lost
+          st.Fleet.restarts;
+        Fmt.pr "records %d -> %d  elapsed %.2f ms  throughput %.1f kops/s@." records
+          st.Fleet.records
+          (float_of_int st.Fleet.elapsed /. 1e6)
+          (Fleet.throughput_rps st /. 1000.);
+        Fmt.pr "latency:    %a@." Latency.pp s;
+        Fmt.pr "queue wait: %a@." Latency.pp qw;
+        Array.iter
+          (fun (i : Fleet.inst_stats) ->
+             Fmt.pr "instance %d: completed %d  lost %d  restarts %d  peak queue %d@."
+               i.Fleet.i_idx i.Fleet.i_completed i.Fleet.i_lost i.Fleet.i_restarts
+               i.Fleet.i_max_queue)
+          st.Fleet.per_instance
+      end
+  in
+  let run app scheme rate workers queue requests process seed outside smoke spans trace
+      json fleet policy ycsb dist records clients affinity kill =
+    check_scheme scheme;
     let process =
       match Loadgen.of_string process with
       | Some p -> p
@@ -696,7 +904,26 @@ let serve_cmd =
     if queue < 1 then die "--queue must be >= 1";
     if requests < 0 then die "--requests must be >= 0";
     if spans < 1 then die "--spans must be >= 1";
+    if fleet < 0 then die "--fleet must be >= 0";
     let requests = if smoke then min requests 200 else requests in
+    if fleet > 0 then begin
+      (* fleet mode: the sharded KV fleet under a YCSB stream *)
+      if trace <> None then
+        die "--trace is single-instance only (use --json to inspect per-instance spans)";
+      if app <> "memcached" then
+        die "--fleet serves the built-in KV store; --app must stay 'memcached'";
+      run_fleet ~fleet ~scheme ~rate ~workers ~queue ~requests ~process ~seed ~outside
+        ~spans ~json ~policy ~ycsb ~dist ~records ~clients ~affinity
+        ~kills:(parse_kills kill)
+    end
+    else begin
+    let app =
+      match Drivers.of_string app with
+      | Some a -> a
+      | None ->
+        die "unknown app '%s'.@.Valid apps: %s" app
+          (String.concat ", " Drivers.app_names)
+    in
     let cfg =
       { Service.workers; queue_cap = queue; requests; rate_rps = rate; process; seed }
     in
@@ -795,6 +1022,7 @@ let serve_cmd =
         | Some file -> Fmt.pr "slowest-request trace written to %s@." file
         | None -> ()
       end
+    end
   in
   let app_arg =
     Arg.(value & opt string "memcached"
@@ -839,14 +1067,57 @@ let serve_cmd =
                    (queue-wait and execution windows per request, per-class cycles as \
                    args; open at chrome://tracing or ui.perfetto.dev).")
   in
+  let fleet_arg =
+    Arg.(value & opt int 0
+         & info [ "fleet" ] ~docv:"N"
+             ~doc:"Serve from a fleet of N enclave instances (each with its own EPC) \
+                   behind a load balancer, driven by a YCSB-style op stream. 0 = the \
+                   single-instance path.")
+  in
+  let policy_arg =
+    Arg.(value & opt string "hash"
+         & info [ "policy" ] ~doc:"Balancer policy: round-robin, least-loaded, hash.")
+  in
+  let ycsb_arg =
+    Arg.(value & opt string "A"
+         & info [ "ycsb" ] ~docv:"W" ~doc:"YCSB core workload: A, B, C, D, E or F.")
+  in
+  let dist_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dist" ]
+             ~doc:"Override the workload's key distribution: uniform, zipfian, latest.")
+  in
+  let records_arg =
+    Arg.(value & opt int 4096
+         & info [ "records" ] ~doc:"Preloaded KV records (the YCSB key space).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 64
+         & info [ "clients" ] ~doc:"Distinct client connections (for --affinity).")
+  in
+  let affinity_arg =
+    Arg.(value & flag
+         & info [ "affinity" ]
+             ~doc:"Sticky client-to-instance routing (round-robin / least-loaded).")
+  in
+  let kill_arg =
+    Arg.(value & opt_all string []
+         & info [ "kill" ] ~docv:"I@CYCLES"
+             ~doc:"Kill instance I at simulated time CYCLES (in-flight requests lost, \
+                   queued ones failed over, instance relaunched after teardown + \
+                   re-attestation). Repeatable; commas separate multiple kills.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Open-loop load generation against a case-study app: deterministic arrival \
              schedule, bounded accept queue (overload sheds, never wedges), per-request \
-             latency percentiles. The service-layer reproduction of Figure 13.")
+             latency percentiles. The service-layer reproduction of Figure 13. With \
+             --fleet N, a sharded multi-instance KV fleet under a YCSB-style stream, \
+             with optional mid-run instance failures.")
     Term.(const run $ app_arg $ scheme_arg $ rate_arg $ workers_arg $ queue_arg
           $ requests_arg $ process_arg $ seed_arg $ outside_arg $ smoke_arg $ spans_arg
-          $ trace_out_arg $ json_arg)
+          $ trace_out_arg $ json_arg $ fleet_arg $ policy_arg $ ycsb_arg $ dist_arg
+          $ records_arg $ clients_arg $ affinity_arg $ kill_arg)
 
 let () =
   let info = Cmd.info "sgxbounds_cli" ~doc:"SGXBounds reproduction driver" in

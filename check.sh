@@ -107,6 +107,51 @@ else
   echo "$shed_out" | grep -q '"dropped"'
 fi
 
+echo "== CLI smoke: serve --fleet (underload, overload shed, failover)"
+# underloaded fleet: everything completes; per-instance spans re-add to
+# the merged counters and each span decomposes into wait + exec
+fleet_out=$("$CLI" serve --scheme sgxbounds --rate 300000 --fleet 3 --policy hash \
+  --ycsb A --records 1024 --requests 400 --workers 2 --seed 1 --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$fleet_out" | jq -e '.completed + .dropped + .lost == .offered' >/dev/null
+  echo "$fleet_out" | jq -e '([.instances[].completed] | add) == .completed' >/dev/null
+  echo "$fleet_out" | jq -e '[.instances[] | .spans.recorded == .completed] | all' >/dev/null
+  echo "$fleet_out" | jq -e '[.instances[].spans.slowest[] | .sojourn == .queue_wait + .exec] | all' >/dev/null
+  echo "$fleet_out" | jq -e '.latency_cycles.p50 <= .latency_cycles.p99' >/dev/null
+else
+  echo "$fleet_out" | grep -q '"completed"'
+fi
+# overloaded fleet with tiny queues must shed at the balancer, not wedge
+fleet_shed=$("$CLI" serve --scheme sgxbounds --rate 5000000 --fleet 2 --policy round-robin \
+  --ycsb B --records 256 --requests 300 --workers 1 --queue 4 --process fixed --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$fleet_shed" | jq -e '.dropped > 0' >/dev/null
+  echo "$fleet_shed" | jq -e '[.instances[].max_queue] | max <= 4' >/dev/null
+  echo "$fleet_shed" | jq -e '.completed + .dropped + .lost == .offered' >/dev/null
+else
+  echo "$fleet_shed" | grep -q '"dropped"'
+fi
+# mid-run kill: the instance restarts, accounting still closes, and the
+# whole run is deterministic (two invocations are byte-identical)
+fleet_kill_cmd() {
+  "$CLI" serve --scheme sgxbounds --rate 2500000 --fleet 3 --policy hash \
+    --ycsb B --records 512 --requests 400 --workers 1 --queue 32 --seed 11 \
+    --kill 0@100000,2@200000 --json
+}
+fleet_kill=$(fleet_kill_cmd)
+if command -v jq >/dev/null 2>&1; then
+  echo "$fleet_kill" | jq -e '.restarts == 2' >/dev/null
+  echo "$fleet_kill" | jq -e '.lost + .failed_over > 0' >/dev/null
+  echo "$fleet_kill" | jq -e '.completed + .dropped + .lost == .offered' >/dev/null
+  echo "$fleet_kill" | jq -e '[.instances[] | .spans.recorded == .completed] | all' >/dev/null
+fi
+test "$fleet_kill" = "$(fleet_kill_cmd)"
+
+echo "== bench smoke: fleetcap (capacity vs shard count)"
+_build/default/bench/main.exe --smoke -j 2 fleetcap >/dev/null
+"$CLI" validate-bench results/fleet_capacity_smoke.tsv
+rm -f results/fleet_capacity_smoke.tsv
+
 echo "== CLI smoke: profile (site attribution, 1 workload x 2 schemes)"
 prof_out=$("$CLI" profile -w kmeans -s sgxbounds -n 512 --json)
 if command -v jq >/dev/null 2>&1; then
@@ -180,6 +225,7 @@ echo "== committed bench documents validate"
 "$CLI" validate-bench BENCH_PR2.json
 "$CLI" validate-bench BENCH_PR6.json
 "$CLI" validate-bench BENCH_PR7.json
+"$CLI" validate-bench results/fleet_capacity.tsv
 
 echo "== audit selftest: seeded race + annotation mutants"
 "$CLI" analyze --selftest >/dev/null
@@ -206,6 +252,18 @@ if "$CLI" run -w kmeans -s nosuchscheme >/dev/null 2>&1; then
 fi
 if "$CLI" serve --app nosuchapp --rate 1000 >/dev/null 2>&1; then
   echo "expected failure for unknown app" >&2
+  exit 1
+fi
+if "$CLI" serve --rate 1000 --fleet 2 --policy nosuchpolicy >/dev/null 2>&1; then
+  echo "expected failure for unknown fleet policy" >&2
+  exit 1
+fi
+if "$CLI" serve --rate 1000 --fleet 2 --ycsb Z >/dev/null 2>&1; then
+  echo "expected failure for unknown YCSB workload" >&2
+  exit 1
+fi
+if "$CLI" serve --rate 1000 --fleet 2 --kill "banana" >/dev/null 2>&1; then
+  echo "expected failure for malformed kill spec" >&2
   exit 1
 fi
 if "$CLI" analyze -w nosuchworkload >/dev/null 2>&1; then

@@ -35,6 +35,15 @@ let queue_round_trip = 600   (* enqueue, outside thread service, response *)
 let kernel_syscall = 300     (* plain syscall when running outside *)
 let shield_per_byte = 4      (* AES-GCM-ish per-byte cost inside the enclave *)
 
+(* Enclave lifecycle costs (cycles), charged when a fleet instance is
+   torn down and relaunched mid-run: EREMOVE of the EPC pages plus
+   ECREATE/EADD/EINIT of the replacement, and the remote-attestation
+   round trip (quote generation + IAS exchange) before clients trust the
+   new instance. Dwarfs any single request, as it should — failover is
+   expensive, which is exactly what the fleet experiments measure. *)
+let enclave_teardown = 300_000
+let enclave_attest = 2_000_000
+
 let slot_default = 16 * 1024
 
 let create s =

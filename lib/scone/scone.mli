@@ -73,3 +73,14 @@ val write : t -> fd -> buf:Sb_protection.Types.ptr -> len:int -> int
 
 (** Number of syscalls issued so far (both directions). *)
 val syscalls : t -> int
+
+(** {2 Enclave lifecycle costs}
+
+    Charged (in cycles) when a fleet instance is torn down and relaunched
+    mid-run: EPC page removal plus rebuild of the replacement enclave,
+    and the remote-attestation round trip before clients trust it again.
+    Deliberately orders of magnitude above any single request — failover
+    is expensive, which is what the fleet experiments measure. *)
+
+val enclave_teardown : int
+val enclave_attest : int

@@ -23,6 +23,16 @@ let summary h =
     p99 = Histogram.quantile_interp h 0.99;
   }
 
+(** [merge name hs] pools per-instance histograms into one fresh
+    histogram — the fleet roll-up. Bucket counts, count, sum and max add
+    exactly, so a quantile of the merge equals a quantile of one
+    histogram fed every underlying sample: the interp-vs-exact bound
+    (factor of 2) carries over to the pooled exact reference unchanged. *)
+let merge name hs =
+  let m = Histogram.create name in
+  List.iter (fun h -> Histogram.merge_into m h) hs;
+  m
+
 (** Exact quantile of a sample set: the value of rank [ceil (q * n)] in
     the sorted order (the nearest-rank definition the histogram
     estimators approximate). *)

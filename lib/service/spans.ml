@@ -68,6 +68,12 @@ let charge_hook log tid =
 let begin_exec log ~worker =
   log.cur.(worker) <- Some (Array.make (Array.length log.buckets) 0)
 
+(** Drop the worker's open accumulator without recording a span — the
+    request died with its enclave (fleet instance kill) and must not
+    count toward [recorded]. Charges already routed to [totals] stay:
+    the machine really spent them. *)
+let abort log ~worker = log.cur.(worker) <- None
+
 (* Reservoir admission key: lexicographic (sojourn, id). Unique ids make
    it a total order, so "keep the cap largest" has exactly one answer. *)
 let key sp = (sojourn sp, sp.sp_id)

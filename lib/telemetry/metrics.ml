@@ -110,6 +110,20 @@ module Histogram = struct
       go 0 0
     end
 
+  (** Accumulate [src] into [dst]: bucketwise counts, count, sum, and
+      max. Exact for everything the histogram itself represents exactly
+      — merging per-shard histograms then asking for a quantile is the
+      same as observing the pooled samples into one histogram, so the
+      interpolated quantile keeps its factor-of-2 bound against the
+      pooled exact reference. *)
+  let merge_into dst src =
+    for i = 0 to nbuckets - 1 do
+      dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+    done;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum + src.sum;
+    if src.max > dst.max then dst.max <- src.max
+
   let reset t =
     Array.fill t.buckets 0 nbuckets 0;
     t.count <- 0;

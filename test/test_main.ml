@@ -31,4 +31,6 @@ let () =
       ("ripe-golden", Test_ripe_golden.suite);
       ("sink-golden", Test_sink_golden.suite);
       ("profile", Test_profile.suite);
+      ("ycsb", Test_ycsb.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -1,0 +1,148 @@
+(** Property tests for the YCSB-style workload generator: seeded
+    determinism, A–F mix ratios, key-distribution skew, and record-id
+    bounds (inserts extend the key space; every key stays inside it). *)
+
+module Ycsb = Sb_service.Ycsb
+
+let gen ?dist ?(records = 10_000) ?(n = 20_000) ~seed workload =
+  Ycsb.generate ?dist ~seed ~workload ~records ~n ()
+
+(* ---------- determinism ---------- *)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed, same stream; streams are pure" ~count:30
+    QCheck.(pair small_nat (int_range 0 5))
+    (fun (seed, wi) ->
+       let w = List.nth Ycsb.all wi in
+       let ops1, fin1 = gen ~records:512 ~n:400 ~seed w in
+       let ops2, fin2 = gen ~records:512 ~n:400 ~seed w in
+       ops1 = ops2 && fin1 = fin2)
+
+let test_seeds_differ () =
+  let ops1, _ = gen ~seed:1 Ycsb.A in
+  let ops2, _ = gen ~seed:2 Ycsb.A in
+  Alcotest.(check bool) "different seeds give different streams" true (ops1 <> ops2)
+
+(* ---------- mix ratios ---------- *)
+
+let fractions ops =
+  let n = float_of_int (Array.length ops) in
+  let count p = float_of_int (Array.length (Array.of_list (List.filter p (Array.to_list ops)))) /. n in
+  ( count (function Ycsb.Read _ -> true | _ -> false),
+    count (function Ycsb.Update _ -> true | _ -> false),
+    count (function Ycsb.Insert _ -> true | _ -> false),
+    count (function Ycsb.Scan _ -> true | _ -> false),
+    count (function Ycsb.Rmw _ -> true | _ -> false) )
+
+let test_mix_ratios () =
+  (* 20k draws: binomial noise is well under 1%, use a 2% tolerance *)
+  let tol = 0.02 in
+  List.iter
+    (fun w ->
+       let m = Ycsb.mix w in
+       let ops, _ = gen ~seed:7 w in
+       let r, u, i, s, f = fractions ops in
+       List.iter
+         (fun (what, got, want) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "workload %s: %s fraction %.3f within %.2f of %.2f"
+                 (Ycsb.name w) what got tol want)
+              true
+              (Float.abs (got -. want) <= tol))
+         [ ("read", r, m.Ycsb.m_read); ("update", u, m.Ycsb.m_update);
+           ("insert", i, m.Ycsb.m_insert); ("scan", s, m.Ycsb.m_scan);
+           ("rmw", f, m.Ycsb.m_rmw) ])
+    Ycsb.all
+
+(* ---------- key-distribution skew ---------- *)
+
+let read_keys ops =
+  List.filter_map (function Ycsb.Read k -> Some k | _ -> None) (Array.to_list ops)
+
+let mass_below keys bound =
+  let hits = List.length (List.filter (fun k -> k < bound) keys) in
+  float_of_int hits /. float_of_int (List.length keys)
+
+let test_zipfian_top1pct () =
+  (* theta-0.99 zipfian over 10k keys puts the majority of the mass on
+     the top 1% of ranks (~0.53 analytically); uniform puts ~1% there *)
+  let ops, _ = gen ~seed:3 Ycsb.C in
+  let keys = read_keys ops in
+  let top = mass_below keys 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "zipfian top-1%% key mass %.3f >= 0.40" top)
+    true (top >= 0.40);
+  let ops_u, _ = gen ~dist:Ycsb.Uniform ~seed:3 Ycsb.C in
+  let u = mass_below (read_keys ops_u) 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform top-1%% key mass %.3f <= 0.03" u)
+    true (u <= 0.03)
+
+let test_latest_skew () =
+  (* workload D reads cluster at the tail of the (growing) key space:
+     rank-r from the latest insert, so rank < 100 means key >= cur-101
+     >= records-101 *)
+  let records = 10_000 in
+  let ops, fin = gen ~records ~seed:5 Ycsb.D in
+  Alcotest.(check bool) "inserts grew the key space" true (fin > records);
+  let keys = read_keys ops in
+  let tail = List.length (List.filter (fun k -> k >= records - 101) keys) in
+  let frac = float_of_int tail /. float_of_int (List.length keys) in
+  Alcotest.(check bool)
+    (Printf.sprintf "latest: %.3f of reads within 100 of the newest record" frac)
+    true (frac >= 0.40)
+
+(* ---------- record-id bounds ---------- *)
+
+let prop_bounds =
+  QCheck.Test.make ~name:"every key within the record space of its time" ~count:30
+    QCheck.(pair small_nat (int_range 0 5))
+    (fun (seed, wi) ->
+       let w = List.nth Ycsb.all wi in
+       let records = 512 in
+       let ops, fin = gen ~records ~n:600 ~seed w in
+       let cur = ref records in
+       let ok = ref true in
+       Array.iter
+         (fun op ->
+            (match op with
+             | Ycsb.Insert k ->
+               (* inserts take exactly the next fresh id *)
+               if k <> !cur then ok := false;
+               incr cur
+             | Ycsb.Read k | Ycsb.Update k | Ycsb.Rmw k ->
+               if k < 0 || k >= !cur then ok := false
+             | Ycsb.Scan (k, len) ->
+               (* scans are clipped to the live key space *)
+               if k < 0 || k >= !cur then ok := false;
+               if len < 1 && !cur - k >= 1 then ok := false;
+               if len > Ycsb.max_scan_len then ok := false;
+               if k + len > !cur then ok := false);
+            if Ycsb.op_key op < 0 then ok := false)
+         ops;
+       !ok && fin = !cur)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun w ->
+       match Ycsb.of_string (Ycsb.name w) with
+       | Some w' -> Alcotest.(check string) "roundtrip" (Ycsb.name w) (Ycsb.name w')
+       | None -> Alcotest.failf "workload %s not parsed back" (Ycsb.name w))
+    Ycsb.all;
+  Alcotest.(check bool) "lowercase accepted" true (Ycsb.of_string "f" = Some Ycsb.F);
+  Alcotest.(check bool) "unknown rejected" true (Ycsb.of_string "G" = None);
+  Alcotest.(check bool) "dist roundtrip" true
+    (List.for_all
+       (fun d -> Ycsb.dist_of_string (Ycsb.dist_name d) = Some d)
+       [ Ycsb.Uniform; Ycsb.Zipfian; Ycsb.Latest ])
+
+let suite =
+  [
+    Helpers.qtest prop_deterministic;
+    Alcotest.test_case "different seeds diverge" `Quick test_seeds_differ;
+    Alcotest.test_case "A-F mix ratios within tolerance" `Quick test_mix_ratios;
+    Alcotest.test_case "zipfian vs uniform top-1% mass" `Quick test_zipfian_top1pct;
+    Alcotest.test_case "latest clusters at the newest records" `Quick test_latest_skew;
+    Helpers.qtest prop_bounds;
+    Alcotest.test_case "name/dist parsing roundtrips" `Quick test_names_roundtrip;
+  ]
