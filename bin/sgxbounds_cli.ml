@@ -311,16 +311,59 @@ let validate_bench_cmd =
     Fmt.pr "%s: valid fleet_capacity table (%d rows, %d columns)@." file
       (List.length rows) ncols
   in
+  (* results/interface_matrix.tsv: the symbolic interface auditor's
+     Table-4-style conformance matrix, also header-identified. *)
+  let validate_matrix_tsv file contents =
+    let header = Sb_analysis.Symex.matrix_tsv_header in
+    let ncols = List.length (String.split_on_char '\t' header) in
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+    in
+    let rows = List.tl lines in
+    if rows = [] then die "%s: interface_matrix file has no data rows" file;
+    List.iteri
+      (fun i row ->
+         let r = i + 1 in
+         let cols = String.split_on_char '\t' row in
+         if List.length cols <> ncols then
+           die "%s: row %d has %d columns (expected %d)" file r (List.length cols) ncols;
+         let col n = List.nth cols n in
+         if String.trim (col 0) = "" then die "%s: row %d: empty class" file r;
+         if String.trim (col 1) = "" then die "%s: row %d: empty scheme" file r;
+         (match col 2 with
+          | "ok" | "flagged" | "trapped" -> ()
+          | s -> die "%s: row %d: status %S not ok/flagged/trapped" file r s);
+         (match col 3 with
+          | "completed" | "trapped" | "fault" | "crash" -> ()
+          | s -> die "%s: row %d: outcome %S not completed/trapped/fault/crash" file r s);
+         let int_at what v =
+           match int_of_string_opt v with
+           | Some n when n >= 0 -> n
+           | _ -> die "%s: row %d: %s %S is not a non-negative integer" file r what v
+         in
+         ignore (int_at "findings" (col 4));
+         if String.trim (col 5) = "" then die "%s: row %d: empty kinds column" file r;
+         ignore (int_at "wild" (col 6));
+         (match col 7 with
+          | "0" | "1" -> ()
+          | s -> die "%s: row %d: corrupted %S is not 0/1" file r s))
+      rows;
+    Fmt.pr "%s: valid interface_matrix table (%d rows, %d columns)@." file
+      (List.length rows) ncols
+  in
   let run file =
     let contents =
       try In_channel.with_open_bin file In_channel.input_all
       with Sys_error e -> die "cannot read %s: %s" file e
     in
-    let fleet_header = Sb_service.Fleet.capacity_tsv_header in
-    if
-      String.length contents >= String.length fleet_header
-      && String.sub contents 0 (String.length fleet_header) = fleet_header
-    then validate_fleet_tsv file contents
+    let starts_with prefix =
+      String.length contents >= String.length prefix
+      && String.sub contents 0 (String.length prefix) = prefix
+    in
+    if starts_with Sb_service.Fleet.capacity_tsv_header then
+      validate_fleet_tsv file contents
+    else if starts_with Sb_analysis.Symex.matrix_tsv_header then
+      validate_matrix_tsv file contents
     else
     match Json.parse contents with
     | Error msg -> die "%s: invalid JSON: %s" file msg
@@ -407,14 +450,42 @@ let validate_bench_cmd =
              score': must parse as JSON and carry the keys of its schema (throughput: \
              numeric sim_maps/speedup_vs_naive, plus engine/score_total/jobs_effective \
              from v2; score: engine, score_total, per-kernel scores and a trend array). \
-             Also validates results/fleet_capacity*.tsv tables (recognised by their \
-             header line) structurally.")
+             Also validates results/fleet_capacity*.tsv and \
+             results/interface_matrix.tsv tables (recognised by their header \
+             line) structurally.")
     Term.(const run $ file_arg)
 
 let fuzz_cmd =
   let module Fuzz = Sb_fuzz.Fuzz in
   let module Trace = Sb_fuzz.Trace in
-  let run seed iters shrink bad inject quiet =
+  let run_symbolic_seeds total quiet =
+    let module Symex = Sb_analysis.Symex in
+    (* the unprotected corpus sweep yields the findings; each becomes a
+       seed trace replayed through the full differential oracle *)
+    let cells = Symex.corpus_sweep ~schemes:[ "native" ] () in
+    let seeds = Symex.seed_traces cells in
+    if seeds = [] then die "symbolic corpus produced no translatable seeds";
+    let traces = Symex.expand_seeds ~total seeds in
+    List.iteri
+      (fun i tr ->
+         if (not quiet) && i mod 50 = 0 then
+           Fmt.epr "fuzz: %d/%d symbolic seed traces ok@." i total;
+         match Fuzz.check_trace tr with
+         | None -> ()
+         | Some f ->
+           Fmt.pr "fuzz: symbolic seed trace %d FAILED@." i;
+           Fmt.pr "  %a@." Fuzz.pp_failure f;
+           Fmt.pr "%s" (Trace.to_string tr);
+           exit 1)
+      traces;
+    Fmt.pr "fuzz: %d symbolic seed traces (from %d findings) x all schemes x 3 \
+            engines: all invariants held@."
+      total (List.length seeds)
+  in
+  let run seed iters shrink bad inject quiet symseeds =
+    if symseeds < 0 then die "--symbolic-seeds must be >= 0";
+    if symseeds > 0 then run_symbolic_seeds symseeds quiet
+    else begin
     if iters < 1 then die "--iters must be >= 1";
     if bad < 0.0 || bad > 1.0 then die "--bad must be in [0, 1]";
     let specs =
@@ -456,6 +527,7 @@ let fuzz_cmd =
       Fmt.pr "  replay with: %s%s@." (Fuzz.replay_command ~seed cx)
         (match inject with Some f -> " --inject " ^ f | None -> "");
       exit 1
+    end
   in
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (deterministic).")
@@ -479,6 +551,13 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output on stderr.")
   in
+  let symseeds_arg =
+    Arg.(value & opt int 0
+         & info [ "symbolic-seeds" ] ~docv:"N"
+             ~doc:"Instead of random traces, replay N traces deterministically \
+                   expanded from the symbolic interface auditor's corpus \
+                   findings through the differential oracle.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: replay random seeded traces through every protection \
@@ -486,12 +565,58 @@ let fuzz_cmd =
              oracle (engines bit-for-bit equal; zero false positives; no missed \
              in-contract violations). On failure, prints a shrunk counterexample and \
              the exact replay command, and exits 1.")
-    Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ bad_arg $ inject_arg $ quiet_arg)
+    Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ bad_arg $ inject_arg
+          $ quiet_arg $ symseeds_arg)
 
 let analyze_cmd =
   let module Analyze = Sb_analysis.Analyze in
-  let run workload scheme threads n outside json selftest full =
-    if selftest then begin
+  let module Symex = Sb_analysis.Symex in
+  let module Ia = Sb_service.Interface_audit in
+  let run workload scheme threads n outside json selftest full symbolic corpus
+      matrix jobs =
+    if symbolic then begin
+      let schemes =
+        match scheme with
+        | None -> Symex.matrix_schemes
+        | Some s ->
+          check_scheme s;
+          [ s ]
+      in
+      if selftest then begin
+        let sts = Symex.selftests () in
+        let ok = Symex.print_selftests sts in
+        if not ok then exit 1
+      end
+      else
+        match matrix with
+        | Some file ->
+          (* the committed Table-4-style matrix: always the full scheme
+             column set, independent of -s *)
+          let cells = Symex.corpus_sweep ~jobs () in
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc (Symex.matrix_tsv cells));
+          (match Symex.verify_matrix cells with
+           | [] -> Fmt.pr "wrote %s (%d cells, pins hold)@." file (List.length cells)
+           | problems ->
+             List.iter (fun p -> Fmt.epr "matrix pin violated: %s@." p) problems;
+             exit 1)
+        | None ->
+          if corpus then begin
+            (* the deliberately buggy corpus: must exit non-zero *)
+            let cells = Symex.corpus_sweep ~jobs ~schemes () in
+            if json then Fmt.pr "%s@." (Json.to_string (Symex.json_report cells))
+            else Symex.print_cells cells;
+            if List.exists (fun c -> c.Symex.cc_status <> "ok") cells then exit 1
+          end
+          else begin
+            (* the shipped service handlers: must be clean *)
+            let cells = Ia.sweep ~jobs ~schemes () in
+            if json then Fmt.pr "%s@." (Json.to_string (Ia.json_report cells))
+            else Ia.print_report cells;
+            if Ia.cells_bad cells <> [] then exit 1
+          end
+    end
+    else if selftest then begin
       let sts = Analyze.selftests () in
       let ok = Analyze.print_selftests sts in
       if not ok then exit 1
@@ -528,8 +653,11 @@ let analyze_cmd =
       in
       if json then Fmt.pr "%s@." (Json.to_string (Analyze.json_report cells))
       else Analyze.print_report cells;
-      if Analyze.cells_findings cells > 0 || Analyze.cells_crashed cells > 0 then
-        exit 1
+      if
+        Analyze.cells_findings cells > 0
+        || Analyze.cells_crashed cells > 0
+        || Analyze.cells_subset_bad cells > 0
+      then exit 1
     end
   in
   let workload_opt_arg =
@@ -556,6 +684,30 @@ let analyze_cmd =
              ~doc:"Audit at the registry's full default working-set sizes instead \
                    of smoke sizes.")
   in
+  let symbolic_arg =
+    Arg.(value & flag
+         & info [ "symbolic" ]
+             ~doc:"Symbolic interface audit: taint request bytes and flag \
+                   attacker-derived pointers/lengths reaching memory or libc \
+                   without a dominating check, double fetches and phase \
+                   disorder. Default target: the shipped service handlers \
+                   (must be clean). With --selftest, runs the symbolic pass's \
+                   own selftests over the buggy corpus.")
+  in
+  let corpus_arg =
+    Arg.(value & flag
+         & info [ "corpus" ]
+             ~doc:"With --symbolic: audit the deliberately buggy handler \
+                   corpus instead of the shipped handlers (exits non-zero by \
+                   construction).")
+  in
+  let matrix_arg =
+    Arg.(value & opt (some string) None
+         & info [ "matrix" ] ~docv:"FILE"
+             ~doc:"With --symbolic: run the buggy corpus under the full scheme \
+                   column set, verify the Table-4 pins and write the \
+                   interface-audit matrix TSV to FILE.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Instrumentation audit: run workloads under schemes wrapped in the \
@@ -563,9 +715,12 @@ let analyze_cmd =
              (check_range coverage of unchecked accesses, safe-access claims, \
              libc wrapper widths) and — for multithreaded runs — detects \
              unsynchronized data and scheme-metadata races via vector-clock \
-             happens-before. Exits non-zero on any finding or crash.")
+             happens-before. --symbolic adds the taint-based interface audit \
+             over the service request handlers. Exits non-zero on any finding \
+             or crash.")
     Term.(const run $ workload_opt_arg $ scheme_opt_arg $ threads_arg $ n_arg
-          $ outside_arg $ json_arg $ selftest_arg $ full_arg)
+          $ outside_arg $ json_arg $ selftest_arg $ full_arg $ symbolic_arg
+          $ corpus_arg $ matrix_arg $ jobs_arg)
 
 let profile_cmd =
   let module Sexp = Sb_service.Experiment in

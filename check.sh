@@ -237,9 +237,50 @@ audit_out=$("$CLI" analyze --json)
 if command -v jq >/dev/null 2>&1; then
   echo "$audit_out" | jq -e '.summary.findings == 0 and .summary.crashed == 0' >/dev/null
   echo "$audit_out" | jq -e '[.cells[] | select(.ops_audited == 0)] | length == 0' >/dev/null
+  # the symbolic pass rides along on every concrete sweep: its subset
+  # soundness pin must hold in every cell
+  echo "$audit_out" | jq -e '.summary.subset_bad == 0' >/dev/null
+  echo "$audit_out" | jq -e '[.cells[].subset_ok] | all' >/dev/null
 else
   echo "$audit_out" | grep -q '"findings":0'
 fi
+
+echo "== symbolic audit selftest: TeeRex corpus pins"
+"$CLI" analyze --symbolic --selftest >/dev/null
+
+echo "== symbolic audit: shipped service handlers must be clean"
+sym_out=$("$CLI" analyze --symbolic --json)
+if command -v jq >/dev/null 2>&1; then
+  echo "$sym_out" | jq -e '(.summary.findings == 0) and (.summary.bad == 0) and .summary.subset_ok' >/dev/null
+  echo "$sym_out" | jq -e '[.cells[] | select(.ops_audited == 0)] | length == 0' >/dev/null
+else
+  echo "$sym_out" | grep -q '"findings":0'
+fi
+
+echo "== symbolic audit: seeded-buggy corpus must trip a non-zero exit"
+if sym_corpus=$("$CLI" analyze --symbolic --corpus --json); then
+  echo "expected non-zero exit on the buggy corpus" >&2
+  exit 1
+fi
+if command -v jq >/dev/null 2>&1; then
+  # both passes emit the one unified finding schema
+  echo "$sym_corpus" | jq -e '([.cells[].detail[]] | length) > 0' >/dev/null
+  echo "$sym_corpus" | jq -e '[.cells[].detail[] | has("kind") and has("site") and has("object") and has("extent")] | all' >/dev/null
+  echo "$sym_corpus" | jq -e '.summary.subset_ok' >/dev/null
+  # Table-4 shape: unprotected flagged on every class, sgxbounds never
+  echo "$sym_corpus" | jq -e '[.cells[] | select(.scheme == "native" and .class != "good") | .status == "flagged"] | all' >/dev/null
+  echo "$sym_corpus" | jq -e '[.cells[] | select(.scheme == "sgxbounds") | .status != "flagged"] | all' >/dev/null
+fi
+
+echo "== interface matrix: regenerate with -j 2, compare to committed, validate"
+matrix_tmp=$(mktemp /tmp/sgxbounds-matrix.XXXXXX.tsv)
+trap 'rm -f "$trace" "$bench_out" "$serve_trace" "$collapsed" "$score_a" "$score_b" "$matrix_tmp"' EXIT
+"$CLI" analyze --symbolic --matrix "$matrix_tmp" -j 2 >/dev/null
+cmp "$matrix_tmp" results/interface_matrix.tsv
+"$CLI" validate-bench results/interface_matrix.tsv
+
+echo "== fuzz smoke: 200 symbolic seed traces through the differential oracle"
+"$CLI" fuzz --symbolic-seeds 200 -q
 
 echo "== CLI smoke: unknown names are clean errors"
 if "$CLI" run -w nosuchworkload -s sgxbounds >/dev/null 2>&1; then

@@ -30,23 +30,29 @@ type cell = {
   c_crashed : string option;
   c_ops : int;          (** scheme operations audited *)
   c_total : int;        (** finding occurrences (pre-deduplication) *)
-  c_findings : Audit.finding list;  (** deduplicated, capped *)
+  c_findings : Finding.t list;  (** deduplicated, capped; unified schema *)
+  c_sym_total : int;    (** occurrences from the symbolic pass alone *)
+  c_subset_ok : bool;   (** dynamic findings ⊆ unified findings (pin) *)
 }
 
 (** Run one audited (workload, scheme) cell on a fresh machine at smoke
-    size (or [n]). Race tracking is enabled only for multithreaded runs:
-    a single-threaded run has no parallel regions to race in. *)
+    size (or [n]). The wrapper is {!Symex.wrap}, which carries the
+    dynamic auditor inside — every sweep cell therefore also asserts
+    the audit-subset soundness pin, and a workload that never plants
+    taint pays nothing for the symbolic layer. Race tracking is enabled
+    only for multithreaded runs: a single-threaded run has no parallel
+    regions to race in. *)
 let run_cell ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
     (w : Registry.spec) =
   let n = match n with Some n -> n | None -> smoke_n w in
   let handle = ref None in
   let wrap s =
-    let s', a = Audit.wrap ~track_races:(threads > 1) s in
+    let s', a = Symex.wrap ~track_races:(threads > 1) s in
     handle := Some a;
     s'
   in
   let r =
-    Fun.protect ~finally:Audit.unhook (fun () ->
+    Fun.protect ~finally:Symex.unhook (fun () ->
         Harness.run_one ~wrap ~env ~threads ~n ~scheme w)
   in
   let a = Option.get !handle in
@@ -59,9 +65,11 @@ let run_cell ?(env = Config.Inside_enclave) ?(threads = 1) ?n ~scheme
       (match r.Harness.outcome with
        | Harness.Completed _ -> None
        | Harness.Crashed msg -> Some msg);
-    c_ops = Audit.ops a;
-    c_total = Audit.total a;
-    c_findings = Audit.findings a;
+    c_ops = Symex.ops a;
+    c_total = Symex.total a;
+    c_findings = Symex.findings a;
+    c_sym_total = Symex.sym_total a;
+    c_subset_ok = Symex.subset_ok a;
   }
 
 let sweep ?env ?threads ?n ~schemes workloads =
@@ -75,16 +83,8 @@ let cells_findings cells = List.fold_left (fun acc c -> acc + c.c_total) 0 cells
 let cells_crashed cells =
   List.length (List.filter (fun c -> c.c_crashed <> None) cells)
 
-let json_of_finding (f : Audit.finding) =
-  Json.Obj
-    [
-      ("kind", Json.Str (Audit.kind_name f.Audit.f_kind));
-      ("op", Json.Str f.Audit.f_op);
-      ("addr", Json.Int f.Audit.f_addr);
-      ("width", Json.Int f.Audit.f_width);
-      ("thread", Json.Int f.Audit.f_thread);
-      ("detail", Json.Str f.Audit.f_detail);
-    ]
+let cells_subset_bad cells =
+  List.length (List.filter (fun c -> not c.c_subset_ok) cells)
 
 let json_of_cell c =
   Json.Obj
@@ -97,7 +97,9 @@ let json_of_cell c =
         Json.Str (match c.c_crashed with None -> "completed" | Some _ -> "crashed") );
       ("ops_audited", Json.Int c.c_ops);
       ("findings", Json.Int c.c_total);
-      ("detail", Json.List (List.map json_of_finding c.c_findings));
+      ("symbolic_findings", Json.Int c.c_sym_total);
+      ("subset_ok", Json.Bool c.c_subset_ok);
+      ("detail", Json.List (List.map Finding.to_json c.c_findings));
     ]
 
 let json_report cells =
@@ -110,6 +112,7 @@ let json_report cells =
             ("cells", Json.Int (List.length cells));
             ("crashed", Json.Int (cells_crashed cells));
             ("findings", Json.Int (cells_findings cells));
+            ("subset_bad", Json.Int (cells_subset_bad cells));
           ] );
     ]
 
@@ -123,10 +126,11 @@ let print_report cells =
        in
        Fmt.pr "%-18s %-12s n=%-8d ops=%-9d %s@." c.c_workload c.c_scheme c.c_n
          c.c_ops tag;
-       List.iter (fun f -> Fmt.pr "    %a@." Audit.pp_finding f) c.c_findings)
+       List.iter (fun f -> Fmt.pr "    %a@." Finding.pp f) c.c_findings)
     cells;
-  Fmt.pr "audit: %d cell(s), %d crashed, %d finding(s)@." (List.length cells)
-    (cells_crashed cells) (cells_findings cells)
+  Fmt.pr "audit: %d cell(s), %d crashed, %d finding(s), %d subset pin failure(s)@."
+    (List.length cells) (cells_crashed cells) (cells_findings cells)
+    (cells_subset_bad cells)
 
 (* ---------- self-test: seeded race + annotation mutants ---------- *)
 
@@ -209,44 +213,44 @@ let selftests () =
     with_audited ~track_races:true "mpx" (fun s a ->
         shared_slot_kernel s;
         expect "mpx-metadata-race"
-          (Audit.count a Audit.Meta_race > 0 && Audit.count a Audit.Data_race > 0)
+          (Audit.count a Finding.Meta_race > 0 && Audit.count a Finding.Data_race > 0)
           (Printf.sprintf "meta=%d data=%d (expected both > 0)"
-             (Audit.count a Audit.Meta_race)
-             (Audit.count a Audit.Data_race)))
+             (Audit.count a Finding.Meta_race)
+             (Audit.count a Finding.Data_race)))
   in
   let sgxb_race =
     with_audited ~track_races:true "sgxbounds" (fun s a ->
         shared_slot_kernel s;
         expect "sgxbounds-no-metadata-race"
-          (Audit.count a Audit.Meta_race = 0 && Audit.count a Audit.Data_race > 0)
+          (Audit.count a Finding.Meta_race = 0 && Audit.count a Finding.Data_race > 0)
           (Printf.sprintf "meta=%d data=%d (expected meta = 0, data > 0)"
-             (Audit.count a Audit.Meta_race)
-             (Audit.count a Audit.Data_race)))
+             (Audit.count a Finding.Meta_race)
+             (Audit.count a Finding.Data_race)))
   in
   let bad_hoist =
     with_audited "sgxbounds" (fun s a ->
         bad_hoist_kernel s;
         expect "bad-hoist-mutant"
-          (Audit.count a Audit.Unchecked_uncovered > 0)
+          (Audit.count a Finding.Unchecked_uncovered > 0)
           (Printf.sprintf "unchecked-uncovered=%d (expected > 0)"
-             (Audit.count a Audit.Unchecked_uncovered)))
+             (Audit.count a Finding.Unchecked_uncovered)))
   in
   let bad_safe =
     with_audited "sgxbounds" (fun s a ->
         bad_safe_kernel s;
         expect "bad-safe-mutant"
-          (Audit.count a Audit.Safe_oob > 0)
-          (Printf.sprintf "safe-oob=%d (expected > 0)" (Audit.count a Audit.Safe_oob)))
+          (Audit.count a Finding.Safe_oob > 0)
+          (Printf.sprintf "safe-oob=%d (expected > 0)" (Audit.count a Finding.Safe_oob)))
   in
   let bad_libc =
     with_audited "sgxbounds" (fun s a ->
         bad_libc_kernel s;
         expect "bad-libc-mutant"
-          (Audit.count a Audit.Libc_mismatch > 0
-           && Audit.count a Audit.Libc_unchecked > 0)
+          (Audit.count a Finding.Libc_mismatch > 0
+           && Audit.count a Finding.Libc_unchecked > 0)
           (Printf.sprintf "libc-mismatch=%d libc-unchecked=%d (expected both > 0)"
-             (Audit.count a Audit.Libc_mismatch)
-             (Audit.count a Audit.Libc_unchecked)))
+             (Audit.count a Finding.Libc_mismatch)
+             (Audit.count a Finding.Libc_unchecked)))
   in
   let cleans =
     List.map

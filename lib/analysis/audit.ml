@@ -39,40 +39,12 @@ open Sb_protection.Types
 
 module Imap = Map.Make (Int)
 
-type kind =
-  | Unchecked_uncovered  (** [*_unchecked] without a covering live check *)
-  | Check_oob            (** [check_range]/[libc_check] extent exceeds its object *)
-  | Safe_oob             (** [safe_*] not statically in-bounds *)
-  | Libc_mismatch        (** [libc_check] width disagrees with bytes touched *)
-  | Libc_unchecked       (** raw libc traffic with no matching [libc_check] *)
-  | Data_race            (** conflicting unsynchronized data accesses *)
-  | Meta_race            (** conflicting unsynchronized metadata accesses *)
+(* Findings use the unified {!Finding} schema shared with the symbolic
+   pass; the auditor reports only {!Finding.dynamic_kinds}. *)
 
-let kind_name = function
-  | Unchecked_uncovered -> "unchecked-uncovered"
-  | Check_oob -> "check-oob"
-  | Safe_oob -> "safe-oob"
-  | Libc_mismatch -> "libc-mismatch"
-  | Libc_unchecked -> "libc-unchecked"
-  | Data_race -> "data-race"
-  | Meta_race -> "meta-race"
-
-let all_kinds =
-  [ Unchecked_uncovered; Check_oob; Safe_oob; Libc_mismatch; Libc_unchecked;
-    Data_race; Meta_race ]
-
-type finding = {
-  f_kind : kind;
-  f_op : string;    (** scheme entry point or libc function *)
-  f_addr : int;
-  f_width : int;
-  f_thread : int;
-  f_detail : string;
-}
-
-let pp_finding ppf f =
-  Fmt.pf ppf "[%s] %s: %d byte(s) at 0x%x (thread %d): %s" (kind_name f.f_kind)
-    f.f_op f.f_width f.f_addr f.f_thread f.f_detail
+let kind_name = Finding.kind_name
+let all_kinds = Finding.dynamic_kinds
+let pp_finding = Finding.pp
 
 (* ---------- live objects and their recorded checks ---------- *)
 
@@ -119,10 +91,10 @@ type t = {
   mutable objects : obj Imap.t;    (* keyed by o_lo; live objects only *)
   mutable frames : (int * int list ref) list;  (* stack frames: token, object bases *)
   mutable pending : (int * int * access) list; (* libc_check awaiting its touch *)
-  mutable findings_rev : finding list;
+  mutable findings_rev : Finding.t list;
   mutable n_stored : int;
   mutable total : int;             (* every occurrence, deduplicated or not *)
-  counts : (kind, int) Hashtbl.t;
+  counts : (Finding.kind, int) Hashtbl.t;
   seen : (string, unit) Hashtbl.t;
   data_shadow : (int, cell) Hashtbl.t;  (* keyed by 4-byte granule *)
   meta_shadow : (int, cell) Hashtbl.t;
@@ -161,8 +133,17 @@ let enter t =
   t.ops <- t.ops + 1;
   if t.region_n > 0 && not (Eff.scheduler_active ()) then join t
 
+let scheme_name t = t.inner.Scheme.name
+
 let cur_thread t =
   if Eff.scheduler_active () then Memsys.current_thread t.inner.Scheme.ms else 0
+
+(* ---------- object lookup (also locates a finding's referent) ---------- *)
+
+let lookup t addr =
+  match Imap.find_last_opt (fun k -> k <= addr) t.objects with
+  | Some (_, o) when addr < o.o_hi -> Some o
+  | _ -> None
 
 (* ---------- findings ---------- *)
 
@@ -172,9 +153,10 @@ let report t kind ~op ~addr ~width ~detail ~dedup =
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts kind));
   if not (Hashtbl.mem t.seen dedup) then begin
     Hashtbl.replace t.seen dedup ();
+    let obj = match lookup t addr with Some o -> o.o_lo | None -> 0 in
     let f =
-      { f_kind = kind; f_op = op; f_addr = addr; f_width = width;
-        f_thread = cur_thread t; f_detail = detail }
+      { Finding.kind; site = op; addr; obj; extent = width;
+        thread = cur_thread t; detail }
     in
     if t.n_stored < t.max_findings then begin
       t.findings_rev <- f :: t.findings_rev;
@@ -194,11 +176,6 @@ let counts t = List.filter_map (fun k ->
     match count t k with 0 -> None | c -> Some (k, c)) all_kinds
 
 (* ---------- object table ---------- *)
-
-let lookup t addr =
-  match Imap.find_last_opt (fun k -> k <= addr) t.objects with
-  | Some (_, o) when addr < o.o_hi -> Some o
-  | _ -> None
 
 let kill_at t lo = t.objects <- Imap.remove lo t.objects
 
@@ -224,7 +201,7 @@ let note_access t ~meta ~op ~addr ~width ~access =
     let u = cur_thread t in
     let clk = t.vc.(u).(u) in
     let tbl = if meta then t.meta_shadow else t.data_shadow in
-    let kind = if meta then Meta_race else Data_race in
+    let kind = if meta then Finding.Meta_race else Finding.Data_race in
     let what = if meta then "metadata" else "data" in
     let g0 = addr asr 2 and g1 = (addr + width - 1) asr 2 in
     (* one report per access, not per granule it spans *)
@@ -303,12 +280,12 @@ let audit_unchecked t ~op ~addr ~width ~access =
   enter t;
   (match lookup t addr with
    | None ->
-     report t Unchecked_uncovered ~op ~addr ~width
+     report t Finding.Unchecked_uncovered ~op ~addr ~width
        ~detail:"no live object contains the access (stale or freed referent)"
        ~dedup:(Printf.sprintf "u:%s:none:0x%x" op (addr asr 12))
    | Some o ->
      if not (covered o addr width access) then
-       report t Unchecked_uncovered ~op ~addr ~width
+       report t Finding.Unchecked_uncovered ~op ~addr ~width
          ~detail:
            (Printf.sprintf
               "access [0x%x,0x%x) not covered by any live %s check_range on object [0x%x,0x%x)"
@@ -322,12 +299,12 @@ let audit_safe t ~op ~addr ~width ~access =
   enter t;
   (match lookup t addr with
    | None ->
-     report t Safe_oob ~op ~addr ~width
+     report t Finding.Safe_oob ~op ~addr ~width
        ~detail:"no live object contains the \"provably safe\" access"
        ~dedup:(Printf.sprintf "s:%s:none:0x%x" op (addr asr 12))
    | Some o ->
      if addr + width > o.o_hi then
-       report t Safe_oob ~op ~addr ~width
+       report t Finding.Safe_oob ~op ~addr ~width
          ~detail:
            (Printf.sprintf
               "access [0x%x,0x%x) straddles the end of object [0x%x,0x%x)"
@@ -350,12 +327,12 @@ let audit_check_range t ~addr ~len ~access =
     meta_read_of_check t addr;
     match lookup t addr with
     | None ->
-      report t Check_oob ~op:"check_range" ~addr ~width:len
+      report t Finding.Check_oob ~op:"check_range" ~addr ~width:len
         ~detail:"check_range on no live object"
         ~dedup:(Printf.sprintf "c:none:0x%x" (addr asr 12))
     | Some o ->
       if addr + len > o.o_hi then
-        report t Check_oob ~op:"check_range" ~addr ~width:len
+        report t Finding.Check_oob ~op:"check_range" ~addr ~width:len
           ~detail:
             (Printf.sprintf
                "claimed extent [0x%x,0x%x) exceeds object [0x%x,0x%x)" addr
@@ -372,12 +349,12 @@ let audit_libc_check t ~addr ~len ~access =
     meta_read_of_check t addr;
     (match lookup t addr with
      | None ->
-       report t Check_oob ~op:"libc_check" ~addr ~width:len
+       report t Finding.Check_oob ~op:"libc_check" ~addr ~width:len
          ~detail:"libc_check on no live object"
          ~dedup:(Printf.sprintf "lc:none:0x%x" (addr asr 12))
      | Some o ->
        if addr + len > o.o_hi then
-         report t Check_oob ~op:"libc_check" ~addr ~width:len
+         report t Finding.Check_oob ~op:"libc_check" ~addr ~width:len
            ~detail:
              (Printf.sprintf
                 "wrapper-checked extent [0x%x,0x%x) exceeds object [0x%x,0x%x)"
@@ -400,14 +377,14 @@ let audit_libc_touch t ~fn ~addr ~len ~access =
     t.pending <- rest;
     (match matched with
      | None ->
-       report t Libc_unchecked ~op:fn ~addr ~width:len
+       report t Finding.Libc_unchecked ~op:fn ~addr ~width:len
          ~detail:
            (Printf.sprintf "raw libc %s of %d byte(s) with no matching libc_check"
               (match access with Read -> "read" | Write -> "write")
               len)
          ~dedup:(Printf.sprintf "lu:%s:0x%x" fn (addr asr 12))
      | Some clen when clen <> len ->
-       report t Libc_mismatch ~op:fn ~addr ~width:len
+       report t Finding.Libc_mismatch ~op:fn ~addr ~width:len
          ~detail:
            (Printf.sprintf
               "libc_check declared %d byte(s) but the body touches %d" clen len)

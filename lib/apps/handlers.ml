@@ -1,0 +1,186 @@
+(** Deliberately buggy request-handler variants — the TeeRex corpus.
+
+    PAPERS.md's TeeRex finds real enclave bugs by symbolically validating
+    the ecall interface: attacker-controlled pointers escaping
+    validation, attacker-controlled lengths reaching copies, double
+    fetches of host-shared memory, and out-of-order interface state
+    machines. Each variant below seeds exactly one of those classes into
+    a miniature request handler over the {!Sb_protection.Scheme.t}
+    vocabulary, so the symbolic interface auditor ({!Sb_analysis.Symex})
+    can pin a Table-4-style matrix: the unprotected scheme lets every
+    class through, SGXBounds-instrumented handlers neutralize them.
+
+    Handlers access memory through the *checked* family ([load]/[store])
+    like scheme-compiled application code would — the [*_unchecked] and
+    [safe_*] families are compiler-emitted patterns with their own
+    dominating checks, not something handler source code writes by hand.
+
+    The request image is part of each attack: [v_fields] lists the
+    (offset, value) words the "attacker" plants in the request buffer.
+    Values at or above {!marker_min} act as taint markers the symbolic
+    pass can follow through host-level arithmetic. *)
+
+module Scheme = Sb_protection.Scheme
+module Simlibc = Sb_libc.Simlibc
+open Sb_protection.Types
+
+(** Request wire format (offsets into the request buffer). *)
+let off_opcode = 0
+let off_ptr = 8      (* attacker-controlled offset/pointer field *)
+let off_len = 16     (* attacker-controlled length field *)
+let off_payload = 32
+
+(** Attacker-planted field values the symbolic pass treats as taint
+    markers (any planted word >= 2^16 is trackable; these are far larger
+    than any host loop index or cycle count a handler computes). *)
+let marker_min = 0x1_0000
+let marker_ptr = 0x20_0000   (* a 2 MiB wild offset: off any object *)
+let marker_len = 0x18_0000   (* an absurd length claim *)
+
+(** Everything a handler touches: the scheme it is "compiled" with, the
+    request bytes (tainted by the driver), a response buffer, and the
+    interface state-machine hook the orderliness check observes. The
+    canonical phase order is recv, parse, validate, execute, respond. *)
+type hctx = {
+  s : Scheme.t;
+  req : ptr;
+  req_len : int;
+  resp : ptr;
+  resp_len : int;
+  note_phase : string -> unit;
+}
+
+let phase_names = [ "recv"; "parse"; "validate"; "execute"; "respond" ]
+
+let load1 h p off = h.s.Scheme.load (h.s.Scheme.offset p off) 1
+let load4 h p off = h.s.Scheme.load (h.s.Scheme.offset p off) 4
+let store1 h p off v = h.s.Scheme.store (h.s.Scheme.offset p off) 1 v
+let store4 h p off v = h.s.Scheme.store (h.s.Scheme.offset p off) 4 v
+
+(* ---------- the corpus ---------- *)
+
+(** Disciplined control row: validates the whole request and the
+    response extent before acting, copies within bounds, phases in
+    order. Must be clean under every scheme, concretely and
+    symbolically. *)
+let good h =
+  h.note_phase "recv";
+  h.note_phase "parse";
+  let op = load4 h h.req off_opcode in
+  h.note_phase "validate";
+  h.s.Scheme.check_range h.req h.req_len Read;
+  h.s.Scheme.check_range h.resp h.resp_len Write;
+  h.note_phase "execute";
+  let len = min (load4 h h.req off_len) 64 in
+  for i = 0 to len - 1 do
+    store1 h h.resp (8 + i) (load1 h h.req (off_payload + (i mod 64)))
+  done;
+  Simlibc.memcpy h.s ~dst:(h.s.Scheme.offset h.resp 128)
+    ~src:(h.s.Scheme.offset h.req off_payload) ~len:64;
+  h.note_phase "respond";
+  store4 h h.resp 0 op
+
+(** TeeRex class 1 — attacker-controlled pointer: the offset field is
+    used to derive a pointer with no validation whatsoever. *)
+let ptr_deref h =
+  h.note_phase "recv";
+  h.note_phase "parse";
+  let off = load4 h h.req off_ptr in
+  h.note_phase "execute";
+  (* dereference wherever the request says — classic ecall pointer bug *)
+  let v = h.s.Scheme.load (h.s.Scheme.offset h.resp off) 4 in
+  h.note_phase "respond";
+  store4 h h.resp 0 v
+
+(** TeeRex class 2 — attacker-controlled length driving an inlined copy
+    loop. The host-level [min] cap models the socket read bound; the
+    response buffer is still four times smaller. *)
+let len_overflow h =
+  h.note_phase "recv";
+  h.note_phase "parse";
+  let claimed = load4 h h.req off_len in
+  h.note_phase "execute";
+  let len = min claimed 4096 in
+  for i = 0 to len - 1 do
+    store1 h h.resp i 0x41
+  done;
+  h.note_phase "respond"
+
+(** TeeRex class 3 — attacker-controlled length handed to a libc
+    wrapper. Schemes whose wrappers really check extents (SGXBounds,
+    ASan) refuse with EINVAL; MPX has no libc interceptors (§5.3) and
+    native none at all, so the raw memcpy tramples the heap. *)
+let libc_len h =
+  h.note_phase "recv";
+  h.note_phase "parse";
+  let claimed = load4 h h.req off_len in
+  h.note_phase "execute";
+  let len = min claimed 4096 in
+  Simlibc.memcpy h.s ~dst:h.resp ~src:h.req ~len;
+  h.note_phase "respond"
+
+(** TeeRex class 4 — double fetch: the length is validated on a first
+    read, an acknowledgment is written, and the length is then fetched
+    {e again} for the copy. Between the two fetches the attacker can
+    rewrite the shared request page; the symbolic pass models that by
+    havocking the second read. *)
+let double_fetch h =
+  h.note_phase "recv";
+  h.note_phase "parse";
+  let len1 = load4 h h.req off_len in
+  h.note_phase "validate";
+  if len1 <= 64 then begin
+    (* ack into the shared request buffer: the store between fetches *)
+    store4 h h.req off_opcode 2;
+    h.note_phase "execute";
+    let len2 = load4 h h.req off_len in   (* the bug: trusts the re-fetch *)
+    for i = 0 to len2 - 1 do
+      store1 h h.resp i (load1 h h.req (off_payload + i))
+    done
+  end;
+  h.note_phase "respond"
+
+(** TeeRex class 5 — orderliness violation: the handler starts executing
+    (and writing) before its validate phase, then "validates" the wrong
+    buffer, and finally copies with the still-unvalidated length. *)
+let order h =
+  h.note_phase "recv";
+  h.note_phase "parse";
+  let claimed = load4 h h.req off_len in
+  h.note_phase "execute";               (* premature: nothing validated yet *)
+  store4 h h.resp 0 1;
+  h.note_phase "validate";              (* phase regression *)
+  h.s.Scheme.check_range h.resp 64 Write;  (* checks the wrong buffer *)
+  let len = min claimed 2048 in
+  for i = 0 to len - 1 do
+    store1 h h.resp i 0x42
+  done;
+  h.note_phase "respond"
+
+(** One corpus entry: name, the handler, and the request words the
+    attacker plants ([v_fields] beyond these default to payload bytes). *)
+type variant = {
+  v_name : string;
+  v_run : hctx -> unit;
+  v_fields : (int * int) list;
+}
+
+let variants =
+  [
+    { v_name = "good"; v_run = good;
+      v_fields = [ (off_opcode, 1); (off_ptr, 8); (off_len, 48) ] };
+    { v_name = "ptr-deref"; v_run = ptr_deref;
+      v_fields = [ (off_opcode, 1); (off_ptr, marker_ptr); (off_len, 48) ] };
+    { v_name = "len-overflow"; v_run = len_overflow;
+      v_fields = [ (off_opcode, 1); (off_ptr, 8); (off_len, marker_len) ] };
+    { v_name = "libc-len"; v_run = libc_len;
+      v_fields = [ (off_opcode, 1); (off_ptr, 8); (off_len, marker_len) ] };
+    { v_name = "double-fetch"; v_run = double_fetch;
+      v_fields = [ (off_opcode, 1); (off_ptr, 8); (off_len, 48) ] };
+    { v_name = "order"; v_run = order;
+      v_fields = [ (off_opcode, 1); (off_ptr, 8); (off_len, marker_len) ] };
+  ]
+
+let variant_names = List.map (fun v -> v.v_name) variants
+
+let find_variant name = List.find_opt (fun v -> v.v_name = name) variants

@@ -11,6 +11,7 @@
 
 module Audit = Sb_analysis.Audit
 module Analyze = Sb_analysis.Analyze
+module Finding = Sb_analysis.Finding
 module Harness = Sb_harness.Harness
 module Registry = Sb_workloads.Registry
 module Memsys = Sb_sgx.Memsys
@@ -46,7 +47,7 @@ let test_use_after_free_flagged () =
       s.Scheme.free p;
       ignore (s.Scheme.load_unchecked p 4);
       Alcotest.(check bool) "access after free flagged" true
-        (Audit.count a Audit.Unchecked_uncovered > 0))
+        (Audit.count a Finding.Unchecked_uncovered > 0))
 
 let test_check_does_not_survive_realloc () =
   with_audited "native" (fun s a ->
@@ -56,7 +57,7 @@ let test_check_does_not_survive_realloc () =
       ignore (s.Scheme.load_unchecked q 4);
       Alcotest.(check bool) "stale check does not cover the new object"
         true
-        (Audit.count a Audit.Unchecked_uncovered > 0);
+        (Audit.count a Finding.Unchecked_uncovered > 0);
       s.Scheme.free q)
 
 let test_read_check_does_not_license_writes () =
@@ -67,7 +68,7 @@ let test_read_check_does_not_license_writes () =
       Alcotest.(check int) "read under read check is fine" 0 (Audit.total a);
       s.Scheme.store_unchecked p 4 7;
       Alcotest.(check bool) "write under read-only check flagged" true
-        (Audit.count a Audit.Unchecked_uncovered > 0);
+        (Audit.count a Finding.Unchecked_uncovered > 0);
       s.Scheme.free p)
 
 let test_write_check_licenses_reads () =
@@ -85,7 +86,7 @@ let test_check_oob_flagged () =
       let p = s.Scheme.malloc 64 in
       s.Scheme.check_range p 80 Read;
       Alcotest.(check bool) "over-long check_range flagged" true
-        (Audit.count a Audit.Check_oob > 0);
+        (Audit.count a Finding.Check_oob > 0);
       s.Scheme.free p)
 
 let test_stack_frame_lifetime () =
@@ -98,7 +99,7 @@ let test_stack_frame_lifetime () =
       s.Scheme.stack_pop tok;
       ignore (s.Scheme.load_unchecked p 4);
       Alcotest.(check bool) "access into popped frame flagged" true
-        (Audit.count a Audit.Unchecked_uncovered > 0))
+        (Audit.count a Finding.Unchecked_uncovered > 0))
 
 (* ---- race-detector precision ---- *)
 
@@ -175,7 +176,7 @@ let test_true_sharing_is_a_race () =
           (fun () -> s.Scheme.store p 4 2; Mt.yield ());
         |];
       Alcotest.(check bool) "same-word writes race" true
-        (Audit.count a Audit.Data_race > 0);
+        (Audit.count a Finding.Data_race > 0);
       s.Scheme.free p)
 
 (* ---- pure observation: audited metrics are bit-identical ---- *)

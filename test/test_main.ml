@@ -28,6 +28,7 @@ let () =
       ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
       ("analysis", Test_analysis.suite);
+      ("symex", Test_symex.suite);
       ("ripe-golden", Test_ripe_golden.suite);
       ("sink-golden", Test_sink_golden.suite);
       ("profile", Test_profile.suite);
