@@ -351,6 +351,59 @@ let validate_bench_cmd =
     Fmt.pr "%s: valid interface_matrix table (%d rows, %d columns)@." file
       (List.length rows) ncols
   in
+  (* results/check_elision.tsv: the static check optimizer's per-cell
+     elision table, also header-identified. *)
+  let validate_elision_tsv file contents =
+    let header = Sb_analysis.Optimizer.elision_tsv_header in
+    let ncols = List.length (String.split_on_char '\t' header) in
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+    in
+    let rows = List.tl lines in
+    if rows = [] then die "%s: check_elision file has no data rows" file;
+    let strong = ref 0 in
+    List.iteri
+      (fun i row ->
+         let r = i + 1 in
+         let cols = String.split_on_char '\t' row in
+         if List.length cols <> ncols then
+           die "%s: row %d has %d columns (expected %d)" file r (List.length cols) ncols;
+         let col n = List.nth cols n in
+         if String.trim (col 0) = "" then die "%s: row %d: empty workload" file r;
+         if String.trim (col 1) = "" then die "%s: row %d: empty scheme" file r;
+         let int_at what v =
+           match int_of_string_opt v with
+           | Some n when n >= 0 -> n
+           | _ -> die "%s: row %d: %s %S is not a non-negative integer" file r what v
+         in
+         if int_at "n" (col 2) < 1 then die "%s: row %d: n must be >= 1" file r;
+         ignore (int_at "sites" (col 3));
+         let before = int_at "checks_before" (col 4) in
+         let after = int_at "checks_after" (col 5) in
+         if after > before then
+           die "%s: row %d: checks_after %d exceeds checks_before %d" file r after before;
+         ignore (int_at "elided" (col 6));
+         ignore (int_at "hoisted" (col 7));
+         let removed =
+           match float_of_string_opt (col 8) with
+           | Some p when p >= 0. && p <= 100. -> p
+           | _ -> die "%s: row %d: removed_pct %S not in [0,100]" file r (col 8)
+         in
+         ignore (int_at "cycles_before" (col 9));
+         ignore (int_at "cycles_after" (col 10));
+         (match float_of_string_opt (col 11) with
+          | Some _ -> ()
+          | None -> die "%s: row %d: cycle_delta_pct %S is not a number" file r (col 11));
+         if col 1 = "sgxbounds" && removed >= 20.0 then incr strong)
+      rows;
+    (* the acceptance floor: the optimizer must remove >= 20% of dynamic
+       checks on at least 3 workloads under SGXBounds *)
+    if !strong < 3 then
+      die "%s: only %d sgxbounds row(s) reach a 20%% removal rate (need >= 3)" file
+        !strong;
+    Fmt.pr "%s: valid check_elision table (%d rows, %d >= 20%% under sgxbounds)@." file
+      (List.length rows) !strong
+  in
   let run file =
     let contents =
       try In_channel.with_open_bin file In_channel.input_all
@@ -364,6 +417,8 @@ let validate_bench_cmd =
       validate_fleet_tsv file contents
     else if starts_with Sb_analysis.Symex.matrix_tsv_header then
       validate_matrix_tsv file contents
+    else if starts_with Sb_analysis.Optimizer.elision_tsv_header then
+      validate_elision_tsv file contents
     else
     match Json.parse contents with
     | Error msg -> die "%s: invalid JSON: %s" file msg
@@ -573,8 +628,86 @@ let analyze_cmd =
   let module Symex = Sb_analysis.Symex in
   let module Ia = Sb_service.Interface_audit in
   let run workload scheme threads n outside json selftest full symbolic corpus
-      matrix jobs =
-    if symbolic then begin
+      matrix jobs optimize out sarif =
+    let module Opt = Sb_analysis.Optimizer in
+    let module Sarif = Sb_analysis.Sarif in
+    let write_file file s =
+      Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc s)
+    in
+    let write_sarif results =
+      match sarif with
+      | Some file ->
+        write_file file (Sarif.to_string results);
+        Fmt.pr "wrote %s (%d SARIF result(s))@." file (List.length results)
+      | None -> ()
+    in
+    if optimize then begin
+      if selftest then begin
+        let sts = Opt.selftests () in
+        let ok = Analyze.print_selftests sts in
+        if not ok then exit 1
+      end
+      else begin
+        let workloads =
+          match workload with
+          | None -> Registry.all
+          | Some name -> [ find_workload name ]
+        in
+        let schemes =
+          match scheme with
+          | None -> Opt.default_sweep_schemes
+          | Some s ->
+            check_scheme s;
+            [ s ]
+        in
+        let env = env_of outside in
+        let rows =
+          if full then
+            List.concat_map
+              (fun (w : Registry.spec) ->
+                 Opt.sweep ~env ~threads ~n:w.Registry.default_n ~jobs ~schemes [ w ])
+              workloads
+          else Opt.sweep ~env ~threads ?n ~jobs ~schemes workloads
+        in
+        (* a single-cell invocation also dumps the certified plan *)
+        let plan =
+          match (workloads, schemes) with
+          | [ w ], [ s ] ->
+            let n = if full then Some w.Registry.default_n else n in
+            Some (Opt.plan_of_cell ~env ~threads ?n ~scheme:s w)
+          | _ -> None
+        in
+        (match out with
+         | Some file ->
+           write_file file (Opt.tsv_of_rows rows);
+           Fmt.pr "wrote %s (%d row(s))@." file (List.length rows)
+         | None -> ());
+        (if json then
+           let report = Opt.json_report rows in
+           let doc =
+             match (plan, report) with
+             | Some p, Json.Obj fields ->
+               Json.Obj (("plan", Opt.json_of_plan p) :: fields)
+             | _ -> report
+           in
+           Fmt.pr "%s@." (Json.to_string doc)
+         else begin
+           (match plan with Some p -> Opt.print_plan p | None -> ());
+           Opt.print_rows rows
+         end);
+        write_sarif
+          (List.filter_map
+             (fun r ->
+                if r.Opt.r_sound then None
+                else
+                  Some
+                    (Sarif.of_cert_failure ~workload:r.Opt.r_workload
+                       ~scheme:r.Opt.r_scheme r.Opt.r_detail))
+             rows);
+        if List.exists (fun r -> not r.Opt.r_sound) rows then exit 1
+      end
+    end
+    else if symbolic then begin
       let schemes =
         match scheme with
         | None -> Symex.matrix_schemes
@@ -606,6 +739,14 @@ let analyze_cmd =
             let cells = Symex.corpus_sweep ~jobs ~schemes () in
             if json then Fmt.pr "%s@." (Json.to_string (Symex.json_report cells))
             else Symex.print_cells cells;
+            write_sarif
+              (List.concat_map
+                 (fun c ->
+                    List.map
+                      (Sarif.of_finding ~workload:c.Symex.cc_class
+                         ~scheme:c.Symex.cc_scheme)
+                      c.Symex.cc_findings)
+                 cells);
             if List.exists (fun c -> c.Symex.cc_status <> "ok") cells then exit 1
           end
           else begin
@@ -613,6 +754,13 @@ let analyze_cmd =
             let cells = Ia.sweep ~jobs ~schemes () in
             if json then Fmt.pr "%s@." (Json.to_string (Ia.json_report cells))
             else Ia.print_report cells;
+            write_sarif
+              (List.concat_map
+                 (fun c ->
+                    List.map
+                      (Sarif.of_finding ~workload:c.Ia.ic_app ~scheme:c.Ia.ic_scheme)
+                      c.Ia.ic_findings)
+                 cells);
             if Ia.cells_bad cells <> [] then exit 1
           end
     end
@@ -653,6 +801,14 @@ let analyze_cmd =
       in
       if json then Fmt.pr "%s@." (Json.to_string (Analyze.json_report cells))
       else Analyze.print_report cells;
+      write_sarif
+        (List.concat_map
+           (fun c ->
+              List.map
+                (Sarif.of_finding ~workload:c.Analyze.c_workload
+                   ~scheme:c.Analyze.c_scheme)
+                c.Analyze.c_findings)
+           cells);
       if
         Analyze.cells_findings cells > 0
         || Analyze.cells_crashed cells > 0
@@ -708,6 +864,32 @@ let analyze_cmd =
                    column set, verify the Table-4 pins and write the \
                    interface-audit matrix TSV to FILE.")
   in
+  let optimize_arg =
+    Arg.(value & flag
+         & info [ "optimize" ]
+             ~doc:"Static check optimizer: record each cell's op stream, infer \
+                   affine-site certificates (hoist one widened check per loop, \
+                   elide dominated checks), verify every certificate, then \
+                   re-run with the elision plan active and prove the optimized \
+                   run sound (same verdicts, same data traffic, zero runtime \
+                   certificate rejections, cycles not up). A single-cell \
+                   invocation (-w and -s) also dumps the plan. With --selftest, \
+                   runs the optimizer's own certificate/tamper/determinism \
+                   selftests instead. Exits non-zero if any cell is unsound.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"With --optimize: also write the check-elision TSV \
+                   (results/check_elision.tsv schema) to FILE.")
+  in
+  let sarif_arg =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE"
+             ~doc:"Write findings as SARIF 2.1.0 to FILE: audit/interface-audit \
+                   findings on the audit paths, certificate-verification \
+                   failures under --optimize.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Instrumentation audit: run workloads under schemes wrapped in the \
@@ -720,7 +902,8 @@ let analyze_cmd =
              or crash.")
     Term.(const run $ workload_opt_arg $ scheme_opt_arg $ threads_arg $ n_arg
           $ outside_arg $ json_arg $ selftest_arg $ full_arg $ symbolic_arg
-          $ corpus_arg $ matrix_arg $ jobs_arg)
+          $ corpus_arg $ matrix_arg $ jobs_arg $ optimize_arg $ out_arg
+          $ sarif_arg)
 
 let profile_cmd =
   let module Sexp = Sb_service.Experiment in

@@ -279,6 +279,19 @@ trap 'rm -f "$trace" "$bench_out" "$serve_trace" "$collapsed" "$score_a" "$score
 cmp "$matrix_tmp" results/interface_matrix.tsv
 "$CLI" validate-bench results/interface_matrix.tsv
 
+echo "== optimizer selftest: certificates, tamper rejection, determinism"
+# Exits non-zero if any certificate fails verification (static or
+# runtime), if a tampered plan slips through, or if plans differ
+# across engines.
+"$CLI" analyze --optimize --selftest >/dev/null
+
+echo "== check elision table: regenerate with -j 2, compare to committed, validate"
+elision_tmp=$(mktemp /tmp/sgxbounds-elision.XXXXXX.tsv)
+trap 'rm -f "$trace" "$bench_out" "$serve_trace" "$collapsed" "$score_a" "$score_b" "$matrix_tmp" "$elision_tmp"' EXIT
+"$CLI" analyze --optimize -j 2 --out "$elision_tmp" >/dev/null
+cmp "$elision_tmp" results/check_elision.tsv
+"$CLI" validate-bench results/check_elision.tsv
+
 echo "== fuzz smoke: 200 symbolic seed traces through the differential oracle"
 "$CLI" fuzz --symbolic-seeds 200 -q
 

@@ -14,9 +14,9 @@ module Mt = Sb_mt.Mt
 open Sb_protection.Types
 
 (** The scheme line-up of the audit sweep (the paper's four headline
-    schemes; the sgxbounds ablation variants share sgxbounds' kernel
-    annotations). *)
-let default_schemes = [ "native"; "sgxbounds"; "asan"; "mpx" ]
+    schemes, from the capability table; the sgxbounds ablation variants
+    share sgxbounds' kernel annotations). *)
+let default_schemes = Sb_schemes.Scheme_info.headline_names
 
 (** Smoke working-set size: the audit verifies per-object contracts, so
     it needs every code path, not the full Figure 7 working set. *)

@@ -69,13 +69,9 @@ type cell = {
    the *pointer slot* address, with bndstx/bndldx not atomic with the
    data access (§4.1). Schemes whose metadata never races by
    construction (or that have none) are not modeled. *)
-type meta_model = No_meta | Mpx_bt | Sgxbounds_footer
+type meta_model = Sb_schemes.Scheme_info.meta = No_meta | Mpx_bt | Sgxbounds_footer
 
-let model_of_name name =
-  if name = "mpx" then Mpx_bt
-  else if String.length name >= 9 && String.sub name 0 9 = "sgxbounds" then
-    Sgxbounds_footer
-  else No_meta
+let model_of_name = Sb_schemes.Scheme_info.meta_model_of
 
 type t = {
   inner : Scheme.t;

@@ -1,0 +1,99 @@
+(** SARIF 2.1.0 writer over the unified {!Finding} schema and the
+    optimizer's certificate failures.
+
+    One run, one driver ("sgxbounds-analyze"), one rule per finding kind
+    plus [optimizer-cert] for {!Optimizer} certificate verification
+    failures. A cell has no source file — workloads are simulated — so
+    locations carry a stable [sim://workload/scheme] artifact URI and a
+    logical location naming the cell. The emitted document is fully
+    deterministic (fixed rule table, results in input order), which the
+    golden test pins byte-for-byte. *)
+
+module Json = Sb_telemetry.Json
+
+type result = {
+  sr_rule : string;
+  sr_level : string;  (** "error" | "warning" | "note" *)
+  sr_message : string;
+  sr_uri : string;    (** cell URI, e.g. [sim://kmeans/sgxbounds] *)
+}
+
+let cell_uri ~workload ~scheme = Printf.sprintf "sim://%s/%s" workload scheme
+
+let of_finding ~workload ~scheme (f : Finding.t) =
+  {
+    sr_rule = Finding.kind_name f.Finding.kind;
+    sr_level = "error";
+    sr_message = Fmt.str "%a" Finding.pp f;
+    sr_uri = cell_uri ~workload ~scheme;
+  }
+
+let of_cert_failure ~workload ~scheme detail =
+  {
+    sr_rule = "optimizer-cert";
+    sr_level = "error";
+    sr_message = detail;
+    sr_uri = cell_uri ~workload ~scheme;
+  }
+
+(** The fixed rule table: every finding kind both auditors can emit,
+    plus the optimizer's certificate-failure rule. *)
+let rule_ids = List.map Finding.kind_name Finding.all_kinds @ [ "optimizer-cert" ]
+
+let json_of_rule id =
+  Json.Obj
+    [ ("id", Json.Str id); ("shortDescription", Json.Obj [ ("text", Json.Str id) ]) ]
+
+let json_of_result r =
+  Json.Obj
+    [
+      ("ruleId", Json.Str r.sr_rule);
+      ("level", Json.Str r.sr_level);
+      ("message", Json.Obj [ ("text", Json.Str r.sr_message) ]);
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "physicalLocation",
+                  Json.Obj
+                    [
+                      ( "artifactLocation",
+                        Json.Obj [ ("uri", Json.Str r.sr_uri) ] );
+                    ] );
+                ( "logicalLocations",
+                  Json.List
+                    [ Json.Obj [ ("fullyQualifiedName", Json.Str r.sr_uri) ] ] );
+              ];
+          ] );
+    ]
+
+let document ?(tool = "sgxbounds-analyze") ?(tool_version = "1.0.0") results : Json.t =
+  Json.Obj
+    [
+      ("$schema", Json.Str "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.Str tool);
+                            ("version", Json.Str tool_version);
+                            ( "informationUri",
+                              Json.Str "https://github.com/tudinfse/sgxbounds" );
+                            ("rules", Json.List (List.map json_of_rule rule_ids));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map json_of_result results));
+              ];
+          ] );
+    ]
+
+let to_string results = Json.to_string (document results)

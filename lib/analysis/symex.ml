@@ -61,26 +61,15 @@ module Iset = Set.Make (Int)
    SGXBounds counts [checks_done]; ASan and MPX trap without counting,
    so a counter delta would misclassify them). *)
 
-let base_scheme name =
-  match String.index_opt name '-' with
-  | Some i -> String.sub name 0 i
-  | None -> name
-
 (** The scheme checks every ordinary (checked-family) access against
     object bounds, so an attacker-steered pointer traps instead of
-    dereferencing wild. *)
-let guards_accesses name =
-  match base_scheme name with
-  | "sgxbounds" | "asan" | "mpx" | "baggy" -> true
-  | _ -> false
+    dereferencing wild. Both rows come from the one capability table
+    ({!Sb_schemes.Scheme_info}); MPX ships no libc interceptors (§5.3 of
+    the paper) — its column stays exposed on the libc-length class,
+    which is exactly the Table 4 story. *)
+let guards_accesses = Sb_schemes.Scheme_info.guards_accesses
 
-(** The scheme's libc wrappers really verify buffer extents. MPX ships
-    no libc interceptors (§5.3 of the paper) — its column stays exposed
-    on the libc-length class, which is exactly the Table 4 story. *)
-let guards_libc name =
-  match base_scheme name with
-  | "sgxbounds" | "asan" | "baggy" -> true
-  | _ -> false
+let guards_libc = Sb_schemes.Scheme_info.guards_libc
 
 (* ---------- taint state ---------- *)
 
@@ -619,7 +608,7 @@ let run_variant ?(scheme = "native") (v : Handlers.variant) : corpus_cell =
 
 (** The Table-4-style scheme columns: unprotected, the paper's scheme,
     and the two comparison schemes its evaluation leans on. *)
-let matrix_schemes = [ "native"; "sgxbounds"; "asan"; "mpx" ]
+let matrix_schemes = Sb_schemes.Scheme_info.headline_names
 
 (** Every corpus class under every scheme, fanned out with
     {!Parallel_runner} (each cell owns a fresh machine, so cells are

@@ -50,27 +50,25 @@ let intersects r lo hi = r.r_off < hi && r.r_off + r.r_len > lo
    across optimization variants (§4.4 optimizations never weaken
    checks: elided safe accesses are exempt for everyone, and unchecked
    loop bodies are covered by the hoisted range check or stay checked). *)
-let base_scheme name =
-  match String.index_opt name '-' with
-  | Some i -> String.sub name 0 i
-  | None -> name
+let base_scheme = Sb_schemes.Scheme_info.base_scheme
 
+(* The floor is keyed on the capability table's contract row, so variant
+   names resolve through the same fallback every consumer uses. *)
 let covers ~scheme (r : range) =
   is_bad r && r.r_kind <> Safe_access
   &&
-  match base_scheme scheme with
-  | "native" -> false
-  | "sgxbounds" -> r.r_off + r.r_len > r.r_size
-  | "asan" ->
+  match Sb_schemes.Scheme_info.contract_of scheme with
+  | Sb_schemes.Scheme_info.Contract_none -> false
+  | Sb_schemes.Scheme_info.Contract_sgxbounds -> r.r_off + r.r_len > r.r_size
+  | Sb_schemes.Scheme_info.Contract_asan ->
     if r.r_freed then intersects r (-asan_redzone) (r.r_size + asan_redzone)
     else
       intersects r (-asan_redzone) 0 || intersects r r.r_size (r.r_size + asan_redzone)
-  | "mpx" -> r.r_kind <> Libc && spatial_bad r
-  | "baggy" ->
+  | Sb_schemes.Scheme_info.Contract_mpx -> r.r_kind <> Libc && spatial_bad r
+  | Sb_schemes.Scheme_info.Contract_baggy ->
     (not r.r_freed) && r.r_kind <> Hoisted
     && r.r_off >= 0 && r.r_off < r.r_block
     && r.r_off + r.r_len > r.r_block
-  | _ -> false
 
 (** Index of the first event containing a range [scheme] must detect. *)
 let first_covered ~scheme (plan : plan) =

@@ -45,25 +45,18 @@ type spec = {
           stops (libc wrappers still stop, §3.4) *)
 }
 
-(* Baggy gets a small buddy region: fuzz traces allocate a few KiB, and
-   the region (plus its 1/16 size table) is mapped eagerly per replay. *)
+(* One spec per capability-table row; the replay flavour of each maker
+   (baggy gets a small buddy region: fuzz traces allocate a few KiB, and
+   the region plus its 1/16 size table is mapped eagerly per replay). *)
 let default_specs () : spec list =
-  let plain name maker = { sp_name = name; sp_maker = maker; sp_counts_only = false } in
-  [
-    plain "native" Sb_protection.Native.make;
-    plain "sgxbounds" (fun m -> Sgxbounds.make m);
-    plain "sgxbounds-noopt" (fun m -> Sgxbounds.make ~opts:Sgxbounds.no_opts m);
-    plain "sgxbounds-safe"
-      (fun m -> Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = true; hoisting = false } m);
-    plain "sgxbounds-hoist"
-      (fun m -> Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = false; hoisting = true } m);
-    { sp_name = "sgxbounds-boundless";
-      sp_maker = (fun m -> Sgxbounds.make ~mode:Sgxbounds.Boundless_mode m);
-      sp_counts_only = true };
-    plain "asan" (fun m -> Sb_asan.Asan.make m);
-    plain "mpx" Sb_mpx.Mpx.make;
-    plain "baggy" (fun m -> Sb_baggy.Baggy.make ~region_bytes:(1 lsl 20) m);
-  ]
+  List.map
+    (fun i ->
+       {
+         sp_name = i.Sb_schemes.Scheme_info.name;
+         sp_maker = i.Sb_schemes.Scheme_info.trace_maker;
+         sp_counts_only = i.Sb_schemes.Scheme_info.counts_only;
+       })
+    Sb_schemes.Scheme_info.all
 
 type failure_kind = Engine_mismatch | False_positive | Missed_violation | Scheme_divergence
 

@@ -56,24 +56,13 @@ type result = {
   outcome : outcome;
 }
 
-(** The scheme line-up of the evaluation. [sgxbounds-*] variants are the
-    Figure 10 optimization ablation. *)
+(** The scheme line-up of the evaluation, from the one capability table
+    ({!Sb_schemes.Scheme_info}). [sgxbounds-*] variants are the Figure 10
+    optimization ablation. *)
 let makers : (string * (Memsys.t -> Scheme.t)) list =
-  [
-    ("native", Sb_protection.Native.make);
-    ("sgxbounds", fun m -> Sgxbounds.make m);
-    ("sgxbounds-noopt", fun m -> Sgxbounds.make ~opts:Sgxbounds.no_opts m);
-    ( "sgxbounds-safe",
-      fun m ->
-        Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = true; hoisting = false } m );
-    ( "sgxbounds-hoist",
-      fun m ->
-        Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = false; hoisting = true } m );
-    ("sgxbounds-boundless", fun m -> Sgxbounds.make ~mode:Sgxbounds.Boundless_mode m);
-    ("asan", (fun m -> Sb_asan.Asan.make m));
-    ("mpx", Sb_mpx.Mpx.make);
-    ("baggy", fun m -> Sb_baggy.Baggy.make ~region_bytes:(16 * 1024 * 1024) m);
-  ]
+  List.map
+    (fun i -> (i.Sb_schemes.Scheme_info.name, i.Sb_schemes.Scheme_info.maker))
+    Sb_schemes.Scheme_info.all
 
 let scheme_names = List.map fst makers
 
@@ -323,8 +312,7 @@ let print_attribution ~label m =
 (** The §4.4 optimization ablation of Figure 10, with the overhead of
     each variant *attributed*: which access class an optimization
     removes cycles from, and what it does to the check counts. *)
-let ablation_schemes =
-  [ "native"; "sgxbounds-noopt"; "sgxbounds-safe"; "sgxbounds-hoist"; "sgxbounds" ]
+let ablation_schemes = Sb_schemes.Scheme_info.ablation_names
 
 let run_ablation ?env ?threads ?n (w : Sb_workloads.Registry.spec) =
   List.map (fun scheme -> run_one ?env ?threads ?n ~scheme w) ablation_schemes

@@ -1,0 +1,175 @@
+(** The scheme-capability record: one row per protection scheme holding
+    everything the rest of the tree used to hard-code about it — the
+    maker, the fuzz detection contract, the libc-wrapper capability, the
+    disjoint-metadata model and its {!Memsys.access_class}es, and the
+    symbolic-auditor capability row. Harness, fuzz, audit, symex and the
+    service consume this table, so adding scheme #5 is one entry here
+    (plus its implementation library) rather than a five-file hunt. *)
+
+module Memsys = Sb_sgx.Memsys
+module Scheme = Sb_protection.Scheme
+
+(** Which {!Sb_fuzz.Contract} detection floor the scheme promises. The
+    variants name mechanisms, not scheme strings, so ablation variants
+    (e.g. [sgxbounds-noopt]) share their base scheme's row. *)
+type contract =
+  | Contract_none        (** promises nothing (native) *)
+  | Contract_sgxbounds   (** any upper overflow, incl. libc wrappers *)
+  | Contract_asan        (** redzone/quarantine intersections *)
+  | Contract_mpx         (** spatially bad instrumented access, no libc *)
+  | Contract_baggy       (** allocation-bounds (buddy block) overruns *)
+
+(** Where the scheme keeps bounds metadata relative to the object — the
+    disjoint-metadata model the race auditor reasons about. *)
+type meta = No_meta | Mpx_bt | Sgxbounds_footer
+
+type t = {
+  name : string;
+  maker : Memsys.t -> Scheme.t;
+      (** evaluation flavour: full-size regions, as the harness runs it *)
+  trace_maker : Memsys.t -> Scheme.t;
+      (** fuzz-replay flavour: traces allocate a few KiB, so schemes with
+          eagerly-mapped regions (baggy) use a small one per replay *)
+  counts_only : bool;
+      (** boundless mode: violations are counted, not raised (§3.4) *)
+  contract : contract;
+  guards_accesses : bool;
+      (** symex capability row: every checked-family access is verified,
+          so an attacker-steered pointer traps instead of dereferencing *)
+  libc_touch : bool;
+      (** symex capability row: the scheme's libc wrappers really check
+          buffer extents ([libc_check] is live, [libc_touch] traffic is
+          covered). MPX ships no interceptors (§5.3), so its row is
+          [false] and its fuzz contract exempts [Libc] ranges. *)
+  meta_model : meta;
+  meta_classes : Memsys.access_class list;
+      (** access classes the scheme charges metadata traffic to *)
+  headline : bool;
+      (** one of the paper's four headline schemes (audit/matrix sweeps) *)
+  ablation : int option;
+      (** position in the Figure 10 optimization-ablation line-up *)
+}
+
+let sgxbounds_row name ?(counts_only = false) ?ablation maker =
+  {
+    name;
+    maker;
+    trace_maker = maker;
+    counts_only;
+    contract = Contract_sgxbounds;
+    guards_accesses = true;
+    libc_touch = true;
+    meta_model = Sgxbounds_footer;
+    meta_classes = [ Memsys.Footer_meta ];
+    headline = name = "sgxbounds";
+    ablation;
+  }
+
+(** The scheme line-up of the evaluation. [sgxbounds-*] variants are the
+    Figure 10 optimization ablation. *)
+let all : t list =
+  [
+    {
+      name = "native";
+      maker = Sb_protection.Native.make;
+      trace_maker = Sb_protection.Native.make;
+      counts_only = false;
+      contract = Contract_none;
+      guards_accesses = false;
+      libc_touch = false;
+      meta_model = No_meta;
+      meta_classes = [];
+      headline = true;
+      ablation = Some 0;
+    };
+    sgxbounds_row "sgxbounds" ~ablation:4 (fun m -> Sgxbounds.make m);
+    sgxbounds_row "sgxbounds-noopt" ~ablation:1
+      (fun m -> Sgxbounds.make ~opts:Sgxbounds.no_opts m);
+    sgxbounds_row "sgxbounds-safe" ~ablation:2
+      (fun m ->
+         Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = true; hoisting = false } m);
+    sgxbounds_row "sgxbounds-hoist" ~ablation:3
+      (fun m ->
+         Sgxbounds.make ~opts:{ Sgxbounds.safe_elision = false; hoisting = true } m);
+    sgxbounds_row "sgxbounds-boundless" ~counts_only:true
+      (fun m -> Sgxbounds.make ~mode:Sgxbounds.Boundless_mode m);
+    {
+      name = "asan";
+      maker = (fun m -> Sb_asan.Asan.make m);
+      trace_maker = (fun m -> Sb_asan.Asan.make m);
+      counts_only = false;
+      contract = Contract_asan;
+      guards_accesses = true;
+      libc_touch = true;
+      meta_model = No_meta;
+      meta_classes = [ Memsys.Shadow; Memsys.Quarantine ];
+      headline = true;
+      ablation = None;
+    };
+    {
+      name = "mpx";
+      maker = Sb_mpx.Mpx.make;
+      trace_maker = Sb_mpx.Mpx.make;
+      counts_only = false;
+      contract = Contract_mpx;
+      guards_accesses = true;
+      libc_touch = false;
+      meta_model = Mpx_bt;
+      meta_classes = [ Memsys.Bounds_table ];
+      headline = true;
+      ablation = None;
+    };
+    {
+      name = "baggy";
+      maker = (fun m -> Sb_baggy.Baggy.make ~region_bytes:(16 * 1024 * 1024) m);
+      (* Baggy gets a small buddy region for traces: fuzz traces allocate
+         a few KiB, and the region (plus its 1/16 size table) is mapped
+         eagerly per replay. *)
+      trace_maker = (fun m -> Sb_baggy.Baggy.make ~region_bytes:(1 lsl 20) m);
+      counts_only = false;
+      contract = Contract_baggy;
+      guards_accesses = true;
+      libc_touch = true;
+      meta_model = No_meta;
+      meta_classes = [ Memsys.Bounds_table ];
+      headline = false;
+      ablation = None;
+    };
+  ]
+
+let names = List.map (fun i -> i.name) all
+let find_opt name = List.find_opt (fun i -> i.name = name) all
+
+(* "sgxbounds-noopt" -> "sgxbounds": ablation variants share their base
+   scheme's capabilities (§4.4 optimizations never weaken checks). *)
+let base_scheme name =
+  match String.index_opt name '-' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(** Capability row for [name], falling back to the base scheme's row for
+    variant names not listed explicitly; [None] for unknown schemes. *)
+let lookup name =
+  match find_opt name with Some i -> Some i | None -> find_opt (base_scheme name)
+
+let contract_of name =
+  match lookup name with Some i -> i.contract | None -> Contract_none
+
+let guards_accesses name =
+  match lookup name with Some i -> i.guards_accesses | None -> false
+
+let guards_libc name =
+  match lookup name with Some i -> i.libc_touch | None -> false
+
+let meta_model_of name =
+  match lookup name with Some i -> i.meta_model | None -> No_meta
+
+(** The paper's four headline schemes, the line-up of every audit /
+    interface-matrix sweep. *)
+let headline_names = List.map (fun i -> i.name) (List.filter (fun i -> i.headline) all)
+
+(** The Figure 10 optimization-ablation line-up, in table order. *)
+let ablation_names =
+  List.filter (fun i -> i.ablation <> None) all
+  |> List.sort (fun a b -> compare a.ablation b.ablation)
+  |> List.map (fun i -> i.name)

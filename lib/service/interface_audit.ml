@@ -73,7 +73,7 @@ let run_app ?(requests = 12) ?(workers = 2) ~scheme app : cell =
 
 (** Every shipped app under every scheme; cells own fresh machines, so
     the fan-out is deterministic for any [jobs]. *)
-let sweep ?jobs ?(schemes = Symex.matrix_schemes) ?requests ?workers () =
+let sweep ?jobs ?(schemes = Sb_schemes.Scheme_info.headline_names) ?requests ?workers () =
   let cells =
     List.concat_map (fun app -> List.map (fun sc -> (app, sc)) schemes)
       Drivers.all

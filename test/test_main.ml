@@ -29,6 +29,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("analysis", Test_analysis.suite);
       ("symex", Test_symex.suite);
+      ("optimizer", Test_optimizer.suite);
       ("ripe-golden", Test_ripe_golden.suite);
       ("sink-golden", Test_sink_golden.suite);
       ("profile", Test_profile.suite);

@@ -339,9 +339,79 @@ let test_histogram_quantile_corners () =
   let v = Metrics.Histogram.quantile_interp x 1.0 in
   Alcotest.(check bool) "interp nonnegative and bounded" true (v >= 0 && v <= max_int)
 
+(* ---------- checks_hoisted semantics are uniform across schemes ---------- *)
+
+(* The invariant the static optimizer (and Figure 10) relies on:
+   [checks_hoisted] counts widened range checks that actually execute in
+   place of per-access checks. Only the sgxbounds variants with hoisting
+   enabled may report it; every other scheme reports exactly 0 even when
+   the workload calls [check_range] (ASan/MPX/Baggy model compilers that
+   keep per-access checks, so their [check_range] is a no-op and their
+   [*_unchecked] accessors stay checked). Always: hoisted <= done, and a
+   hoist only ever appears together with elisions it pays for. *)
+
+let hoisting_schemes = [ "sgxbounds"; "sgxbounds-hoist"; "sgxbounds-boundless" ]
+
+let test_hoist_counter_semantics () =
+  let open Sb_protection.Types in
+  List.iter
+    (fun scheme ->
+       let ms = Memsys.create (Config.default ()) in
+       let s = Harness.maker scheme ms in
+       let module Scheme = Sb_protection.Scheme in
+       (* the canonical hoisted loop: one range check, unchecked body *)
+       let p = s.Scheme.malloc 64 in
+       s.Scheme.check_range p 64 Write;
+       for i = 0 to 7 do
+         s.Scheme.store_unchecked (s.Scheme.offset p (8 * i)) 8 i
+       done;
+       ignore (s.Scheme.safe_load p 8 : int);
+       let x = s.Scheme.extras in
+       let hoists = List.mem scheme hoisting_schemes in
+       Alcotest.(check bool)
+         (scheme ^ ": hoisted>0 exactly under hoisting sgxbounds variants")
+         hoists (x.checks_hoisted > 0);
+       Alcotest.(check bool) (scheme ^ ": hoisted <= done") true
+         (x.checks_hoisted <= x.checks_done);
+       if hoists then begin
+         Alcotest.(check int) (scheme ^ ": one range check, one hoist") 1
+           x.checks_hoisted;
+         Alcotest.(check bool) (scheme ^ ": the hoist pays for elisions") true
+           (x.checks_elided >= 8)
+       end;
+       if scheme = "native" then begin
+         Alcotest.(check int) "native: no checks" 0 x.checks_done;
+         Alcotest.(check int) "native: no elisions" 0 x.checks_elided
+       end)
+    Harness.scheme_names
+
+let test_hoist_counters_on_workload () =
+  (* same invariant end-to-end, plus: all hoisting variants agree on the
+     whole counter triple (hoisting is independent of boundless/safe) *)
+  let triple scheme =
+    let m = run_metrics ~n:2048 ~scheme "kmeans" in
+    (m.Harness.checks_done, m.Harness.checks_elided, m.Harness.checks_hoisted)
+  in
+  let reference = triple "sgxbounds" in
+  let _, _, ref_hoisted = reference in
+  Alcotest.(check bool) "sgxbounds hoists on kmeans" true (ref_hoisted > 0);
+  List.iter
+    (fun scheme ->
+       let ((done_, _, hoisted) as t) = triple scheme in
+       Alcotest.(check bool) (scheme ^ ": hoisted <= done") true (hoisted <= done_);
+       if List.mem scheme hoisting_schemes then
+         Alcotest.(check (triple int int int))
+           (scheme ^ ": counter triple matches sgxbounds") reference t
+       else Alcotest.(check int) (scheme ^ ": reports no hoists") 0 hoisted)
+    Harness.scheme_names
+
 let suite =
   suite
   @ [
       Alcotest.test_case "histogram quantile corners" `Quick
         test_histogram_quantile_corners;
+      Alcotest.test_case "checks_hoisted semantics per scheme" `Quick
+        test_hoist_counter_semantics;
+      Alcotest.test_case "checks_hoisted invariant on kmeans" `Quick
+        test_hoist_counters_on_workload;
     ]
